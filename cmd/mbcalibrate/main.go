@@ -1,0 +1,62 @@
+// Command mbcalibrate runs every analysis unit through the simulator and
+// prints measured aggregates next to the paper's calibration targets,
+// together with the duty-factor corrections that would align the dynamic
+// instruction counts. It is the developer tool used to fit
+// internal/workload/calibration.go.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"mobilebench/internal/sim"
+	"mobilebench/internal/workload"
+)
+
+func main() {
+	runs := flag.Int("runs", 1, "runs to average per benchmark")
+	analysis := flag.Bool("analysis", false, "also run the downstream analyses (clustering, subsets, observations)")
+	features := flag.Bool("features", false, "print normalized clustering features and distances")
+	flag.Parse()
+
+	if *analysis {
+		runAnalysis(*runs)
+		return
+	}
+	if *features {
+		runFeatures(*runs)
+		return
+	}
+
+	eng, err := sim.New(sim.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
+		os.Exit(1)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\truntime\tIC(B)\ttargetIC\tdutyFix\tIPC\ttgtIPC\tcMPKI\tbMPKI\tCPU\tGPU\tShad\tBus\tAIE\tMem%\tMemMB\tLload\tMload\tBload")
+	for _, w := range workload.AnalysisUnits() {
+		res, err := eng.RunAveraged(w, *runs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
+			os.Exit(1)
+		}
+		a := res.Agg
+		t, _ := workload.TargetFor(w.Name)
+		icB := a.InstrCount / 1e9
+		fix := 0.0
+		if icB > 0 {
+			fix = t.ICBillions / icB
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.2f\t%.1f\t%.3f\t%.2f\t%.2f\t%.1f\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.0f\t%.2f\t%.2f\t%.2f\n",
+			a.Name, a.RuntimeSec, icB, t.ICBillions, fix, a.IPC, t.IPC,
+			a.CacheMPKI, a.BranchMPKI,
+			a.AvgCPULoad, a.AvgGPULoad, a.AvgShadersBusy, a.AvgGPUBusBusy,
+			a.AvgAIELoad, a.AvgUsedMemFrac, a.PeakUsedMemMB,
+			a.ClusterLoad[0], a.ClusterLoad[1], a.ClusterLoad[2])
+	}
+	tw.Flush()
+}

@@ -1,0 +1,69 @@
+// Command mbchar characterizes the commercial mobile benchmark suites on
+// the simulated platform and prints the Figure 1 metrics, the Table III
+// correlations and (optionally) the Section V observation checks.
+//
+// Usage:
+//
+//	mbchar [-runs N] [-csv] [-correlation] [-observations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobilebench/internal/core"
+	"mobilebench/internal/report"
+	"mobilebench/internal/sim"
+)
+
+func main() {
+	runs := flag.Int("runs", 3, "runs to average per benchmark")
+	seed := flag.Uint64("seed", 0, "simulation seed (0 = default)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	correlation := flag.Bool("correlation", false, "print only Table III")
+	observations := flag.Bool("observations", false, "print only the observation checks")
+	flag.Parse()
+
+	ds, err := core.Collect(core.Options{Sim: sim.Config{Seed: *seed}, Runs: *runs})
+	if err != nil {
+		fatal(err)
+	}
+
+	emit := func(t *report.Table) {
+		var werr error
+		if *csv {
+			werr = t.WriteCSV(os.Stdout)
+		} else {
+			werr = t.Write(os.Stdout)
+		}
+		if werr != nil {
+			fatal(werr)
+		}
+		fmt.Println()
+	}
+
+	switch {
+	case *correlation:
+		emit(report.TableIII(ds))
+	case *observations:
+		obs, err := ds.Observations()
+		if err != nil {
+			fatal(err)
+		}
+		emit(report.Observations(obs))
+	default:
+		emit(report.Figure1(ds))
+		emit(report.TableIII(ds))
+		obs, err := ds.Observations()
+		if err != nil {
+			fatal(err)
+		}
+		emit(report.Observations(obs))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbchar:", err)
+	os.Exit(1)
+}

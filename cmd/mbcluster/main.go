@@ -1,0 +1,90 @@
+// Command mbcluster runs the similarity analysis: the Figure 4 cluster-count
+// validation sweep and the Figure 5/6 clusterings (hierarchical dendrogram
+// plus K-means/PAM groupings).
+//
+// Usage:
+//
+//	mbcluster [-runs N] [-k K] [-validate] [-kmeans|-pam]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobilebench/internal/cluster"
+	"mobilebench/internal/core"
+	"mobilebench/internal/report"
+	"mobilebench/internal/sim"
+)
+
+func main() {
+	runs := flag.Int("runs", 3, "runs to average per benchmark")
+	k := flag.Int("k", 5, "number of clusters")
+	validate := flag.Bool("validate", false, "print the Figure 4 validation sweep")
+	kmeans := flag.Bool("kmeans", false, "print only the K-means clustering (Figure 6)")
+	pam := flag.Bool("pam", false, "print only the PAM clustering")
+	flag.Parse()
+
+	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: *runs})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *validate {
+		scores, err := ds.Figure4(2, 9)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.Figure4(scores).Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+		best := cluster.BestK(scores)
+		fmt.Printf("\noptimal number of clusters: %d\n", best)
+		return
+	}
+
+	switch {
+	case *kmeans:
+		c, err := ds.ClusterWith(cluster.NewKMeans(), *k)
+		if err != nil {
+			fatal(err)
+		}
+		mustWrite(report.Clusters(c))
+	case *pam:
+		c, err := ds.ClusterWith(cluster.NewPAM(), *k)
+		if err != nil {
+			fatal(err)
+		}
+		mustWrite(report.Clusters(c))
+	default:
+		fig5, den, err := ds.Figure5()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report.Dendrogram(den, ds.Names()))
+		fmt.Println()
+		mustWrite(report.Clusters(fig5))
+		fmt.Println()
+		agree, cs, err := ds.AgreementAcrossAlgorithms(*k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("all algorithms agree at k=%d: %v\n\n", *k, agree)
+		for _, c := range cs[1:] {
+			mustWrite(report.Clusters(c))
+			fmt.Println()
+		}
+	}
+}
+
+func mustWrite(t *report.Table) {
+	if err := t.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbcluster:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command mbreport runs the full characterization and writes the complete
+// report — Figure 1 metrics, Table III correlations, Table V load levels,
+// Table VI subsets and the Section V observation checks — to stdout or a
+// file. It is the one-command version of the paper's evaluation section.
+//
+// Usage:
+//
+//	mbreport [-runs N] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobilebench"
+)
+
+func main() {
+	runs := flag.Int("runs", 3, "runs to average per benchmark")
+	out := flag.String("o", "", "write the report to this file instead of stdout")
+	flag.Parse()
+
+	c, err := mobilebench.Characterize(mobilebench.Options{Runs: *runs})
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := c.WriteReport(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Command mbsim runs a single benchmark on the simulated platform and
+// either prints its aggregate counters or dumps the full counter trace as
+// CSV (for plotting).
+//
+// Usage:
+//
+//	mbsim -bench "3DMark Wild Life" [-runs N] [-csv] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"mobilebench/internal/roi"
+	"mobilebench/internal/sim"
+	"mobilebench/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (analysis unit or executable)")
+	runs := flag.Int("runs", 1, "runs to average")
+	csv := flag.Bool("csv", false, "dump the full counter trace as CSV")
+	list := flag.Bool("list", false, "list available benchmarks")
+	roiWindow := flag.Float64("roi", 0, "select representative regions of interest with this window length (seconds)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Analysis units:")
+		for _, w := range workload.AnalysisUnits() {
+			fmt.Printf("  %-30s %-12s %6.1f s\n", w.Name, w.Suite, w.Duration())
+		}
+		fmt.Println("\nIndividually executable sub-benchmarks:")
+		var names []string
+		for _, w := range workload.Executables() {
+			names = append(names, fmt.Sprintf("  %-55s %-12s %6.1f s", w.Name, w.Suite, w.Duration()))
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *bench == "" {
+		fatal(fmt.Errorf("missing -bench (use -list to see names)"))
+	}
+	w, err := workload.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := sim.New(sim.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	res, err := eng.RunAveraged(w, *runs)
+	if err != nil {
+		fatal(err)
+	}
+	if *csv {
+		if err := res.Trace.WriteCSV(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *roiWindow > 0 {
+		sel, err := roi.Analyze(res.Trace, roi.Options{WindowSec: *roiWindow})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d representative intervals over %d windows (%.0f%% coverage)\n",
+			w.Name, len(sel.Intervals), sel.Windows, sel.Coverage*100)
+		for _, iv := range sel.Intervals {
+			fmt.Printf("  phase %d  %7.1f - %7.1f s  weight %.2f\n",
+				iv.Phase, iv.StartSec, iv.EndSec, iv.Weight)
+		}
+		fmt.Printf("replay budget %.1f s of %.1f s; reconstruction error %.1f%%\n",
+			sel.SimulatedSeconds(), res.Agg.RuntimeSec, sel.ReconstructionError()*100)
+		return
+	}
+	a := res.Agg
+	fmt.Printf("%s (%s)\n", w.Name, w.Suite)
+	fmt.Printf("  runtime           %.1f s\n", a.RuntimeSec)
+	fmt.Printf("  instructions      %.2f B\n", a.InstrCount/1e9)
+	fmt.Printf("  IPC               %.2f\n", a.IPC)
+	fmt.Printf("  cache MPKI        %.1f\n", a.CacheMPKI)
+	fmt.Printf("  branch MPKI       %.1f\n", a.BranchMPKI)
+	fmt.Printf("  CPU load          %.2f (little %.2f / mid %.2f / big %.2f)\n",
+		a.AvgCPULoad, a.ClusterLoad[0], a.ClusterLoad[1], a.ClusterLoad[2])
+	fmt.Printf("  GPU load          %.2f (shaders %.2f, bus %.2f)\n",
+		a.AvgGPULoad, a.AvgShadersBusy, a.AvgGPUBusBusy)
+	fmt.Printf("  AIE load          %.2f\n", a.AvgAIELoad)
+	fmt.Printf("  memory used       %.1f%% (avg %.2f GB, peak %.2f GB)\n",
+		a.AvgUsedMemFrac*100, a.AvgUsedMemMB/1024, a.PeakUsedMemMB/1024)
+	fmt.Printf("  power             %.2f W average, %.1f J total (extension)\n",
+		a.AvgPowerW, a.EnergyJ)
+	fmt.Printf("  peak CPU temp     %.1f C (extension)\n", a.PeakCPUTempC)
+	fmt.Printf("  trace             %d metrics x %d samples\n",
+		res.Trace.NumMetrics(), res.Trace.Samples)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command mbsubset computes the paper's reduced benchmark sets: Table VI
+// (runtimes and reductions) and, with -curve, the Figure 7 growth curves.
+// With -budget SECONDS it instead greedily selects the most representative
+// subset under a runtime budget.
+//
+// Usage:
+//
+//	mbsubset [-runs N] [-curve] [-budget SECONDS]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobilebench/internal/core"
+	"mobilebench/internal/report"
+	"mobilebench/internal/sim"
+	"mobilebench/internal/subset"
+)
+
+func main() {
+	runs := flag.Int("runs", 3, "runs to average per benchmark")
+	curve := flag.Bool("curve", false, "print the Figure 7 growth curves")
+	budget := flag.Float64("budget", 0, "select a subset under this runtime budget (seconds)")
+	flag.Parse()
+
+	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: *runs})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *budget > 0 {
+		set, err := subset.UnderBudget(ds.SubsetBenchmarks(), *budget)
+		if err != nil {
+			fatal(err)
+		}
+		rt, err := subset.RuntimeSec(ds.SubsetBenchmarks(), set.Members)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := subset.TotalMinDistance(ds.SubsetBenchmarks(), set.Members)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %v\nruntime %.1f s, representativeness distance %.2f\n",
+			set.Name, set.Members, rt, d)
+		return
+	}
+
+	if *curve {
+		curves, err := ds.Figure7()
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.Figure7(curves).Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	reds, err := ds.TableVI()
+	if err != nil {
+		fatal(err)
+	}
+	if err := report.TableVI(ds, reds).Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	gpuName, gpuLoad := ds.HighestAvgGPULoad()
+	aieName, aieLoad := ds.HighestAvgAIELoad()
+	fmt.Printf("\nhighest average GPU load: %s (%.2f)\nhighest average AIE load: %s (%.2f)\n",
+		gpuName, gpuLoad, aieName, aieLoad)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbsubset:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Customworkload: define a brand-new mobile benchmark with the phase model
+// — a photo-sharing app session with browsing, AI-enhanced editing and a
+// video upload — and compare its behaviour against the commercial suites.
+//
+// This is the workflow the paper motivates for researchers: describe the
+// workload you actually care about, then see which commercial benchmark is
+// its nearest behavioural proxy.
+//
+// Run with:
+//
+//	go run ./examples/customworkload
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"mobilebench"
+)
+
+func photoShareApp() mobilebench.Workload {
+	return mobilebench.Workload{
+		Name:  "PhotoShare session",
+		Suite: "custom",
+		Phases: []mobilebench.Phase{
+			{
+				// Scrolling a media feed: branchy UI code on the little
+				// cores, bursts of image decode.
+				Name:     "browse feed",
+				Duration: 25,
+				CPU: mobilebench.CPUPhase{
+					Tasks: []mobilebench.TaskSpec{
+						{Count: 2, Demand: 0.18},
+						{Count: 2, Demand: 0.08},
+					},
+					Mix:         mobilebench.InstrMix{LoadStoreFrac: 0.38, BranchFrac: 0.18, BaseILP: 1.5},
+					Access:      mobilebench.AccessPattern{WorkingSetBytes: 24 << 20, SequentialFrac: 0.3, ReuseSkew: 1.2, HotFrac: 0.85, PrefetchCoverage: 0.7},
+					Branches:    mobilebench.BranchProfile{StaticBranches: 4096, TakenBias: 0.88, Entropy: 0.08, Correlated: 0.2},
+					ComputeDuty: 0.02,
+				},
+				AIE: []mobilebench.AIEDemand{{Op: mobilebench.OpScroll, Rate: 0.8}},
+				Mem: mobilebench.Footprint{CPUHeapMB: 700, MediaMB: 200},
+			},
+			{
+				// AI photo enhancement: NN inference with GPU-compute
+				// filters, mid cores feeding the accelerator.
+				Name:     "enhance photo",
+				Duration: 12,
+				CPU: mobilebench.CPUPhase{
+					Tasks: []mobilebench.TaskSpec{
+						{Count: 2, Demand: 0.5},
+						{Count: 2, Demand: 0.1},
+					},
+					Mix:         mobilebench.InstrMix{LoadStoreFrac: 0.4, BranchFrac: 0.07, BaseILP: 1.8},
+					Access:      mobilebench.AccessPattern{WorkingSetBytes: 16 << 20, SequentialFrac: 0.75, ReuseSkew: 1.0, HotFrac: 0.7, PrefetchCoverage: 0.85},
+					Branches:    mobilebench.BranchProfile{StaticBranches: 768, TakenBias: 0.96, Entropy: 0.02, Correlated: 0.3},
+					ComputeDuty: 0.025,
+				},
+				GPU: mobilebench.Scene{
+					API: mobilebench.APICompute, Width: 1920, Height: 1080,
+					WorkPerPixel: 1800, TextureBytesPerFrame: 120 << 20,
+					FramebufferFactor: 1.2, Offscreen: true,
+					DrawCallsPerFrame: 9000, TextureWorkingSetMB: 300,
+				},
+				AIE: []mobilebench.AIEDemand{{Op: mobilebench.OpConv, Rate: 0.5}},
+				Mem: mobilebench.Footprint{CPUHeapMB: 900, GPUMB: 400, MediaMB: 250},
+			},
+			{
+				// Encode and upload: hardware H265 encode plus network/IO.
+				Name:     "encode and upload",
+				Duration: 13,
+				CPU: mobilebench.CPUPhase{
+					Tasks:       []mobilebench.TaskSpec{{Count: 1, Demand: 0.55}, {Count: 2, Demand: 0.1}},
+					Mix:         mobilebench.InstrMix{LoadStoreFrac: 0.42, BranchFrac: 0.14, BaseILP: 1.8},
+					Access:      mobilebench.AccessPattern{WorkingSetBytes: 48 << 20, SequentialFrac: 0.9, ReuseSkew: 0.8, HotFrac: 0.6, PrefetchCoverage: 0.9},
+					Branches:    mobilebench.BranchProfile{StaticBranches: 1536, TakenBias: 0.92, Entropy: 0.045, Correlated: 0.25},
+					ComputeDuty: 0.02,
+				},
+				AIE: []mobilebench.AIEDemand{{Op: mobilebench.OpVideoEncode, Rate: 0.6, Codec: "H265"}},
+				IO:  mobilebench.IODemand{SeqWriteMBs: 120, RandWriteIOPS: 2500},
+				Mem: mobilebench.Footprint{CPUHeapMB: 850, MediaMB: 500},
+			},
+		},
+	}
+}
+
+func main() {
+	// Characterize the custom app alongside the full commercial set.
+	units := append(mobilebench.AnalysisUnits(), photoShareApp())
+	c, err := mobilebench.Characterize(mobilebench.Options{Runs: 1, Units: units})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	agg, err := c.Aggregates("PhotoShare session")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PhotoShare session: IPC %.2f, cache MPKI %.1f, CPU load %.2f, GPU load %.2f, AIE load %.2f\n\n",
+		agg.IPC, agg.CacheMPKI, agg.AvgCPULoad, agg.AvgGPULoad, agg.AvgAIELoad)
+
+	// Which commercial benchmark is the nearest behavioural proxy?
+	type match struct {
+		name string
+		dist float64
+	}
+	var matches []match
+	ref, _ := c.Aggregates("PhotoShare session")
+	for _, name := range c.Names() {
+		if name == "PhotoShare session" {
+			continue
+		}
+		a, _ := c.Aggregates(name)
+		matches = append(matches, match{name: name, dist: featureDistance(ref, a)})
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].dist < matches[j].dist })
+
+	fmt.Println("nearest commercial benchmarks (behavioural distance):")
+	for _, m := range matches[:5] {
+		fmt.Printf("  %-28s %.3f\n", m.name, m.dist)
+	}
+}
+
+// featureDistance compares two benchmarks on normalized headline metrics.
+func featureDistance(a, b mobilebench.Aggregates) float64 {
+	dims := [][2]float64{
+		{a.IPC / 1.4, b.IPC / 1.4},
+		{a.CacheMPKI / 55, b.CacheMPKI / 55},
+		{a.BranchMPKI / 25, b.BranchMPKI / 25},
+		{a.AvgCPULoad, b.AvgCPULoad},
+		{a.AvgGPULoad, b.AvgGPULoad},
+		{a.AvgShadersBusy, b.AvgShadersBusy},
+		{a.AvgAIELoad / 0.5, b.AvgAIELoad / 0.5},
+		{a.AvgUsedMemFrac, b.AvgUsedMemFrac},
+	}
+	s := 0.0
+	for _, d := range dims {
+		diff := d[0] - d[1]
+		s += diff * diff
+	}
+	return s
+}

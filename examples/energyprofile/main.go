@@ -1,0 +1,92 @@
+// Energyprofile: the beyond-the-paper extension in action. The paper lists
+// power measurement as a limitation of its hardware setup; the simulator
+// carries first-order power and thermal models, so this example ranks the
+// commercial benchmarks by energy cost and energy efficiency and prints a
+// power-over-time profile for one of them.
+//
+// Run with:
+//
+//	go run ./examples/energyprofile
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"mobilebench"
+)
+
+func main() {
+	c, err := mobilebench.Characterize(mobilebench.Options{Runs: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		name    string
+		powerW  float64
+		energyJ float64
+		// instrPerJ is instructions per joule — the efficiency metric.
+		instrPerJ float64
+	}
+	var rows []row
+	for _, name := range c.Names() {
+		agg, err := c.Aggregates(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{
+			name:      name,
+			powerW:    agg.AvgPowerW,
+			energyJ:   agg.EnergyJ,
+			instrPerJ: agg.InstrCount / agg.EnergyJ,
+		})
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].powerW > rows[j].powerW })
+	fmt.Println("benchmarks by average power:")
+	for _, r := range rows {
+		fmt.Printf("  %-28s %6.2f W  %8.0f J  %8.0f Minstr/J\n",
+			r.name, r.powerW, r.energyJ, r.instrPerJ/1e6)
+	}
+
+	// Power profile of the hungriest benchmark.
+	name := rows[0].name
+	tr, err := c.TraceOf(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := tr.MustSeries("power.total_w").Resample(72)
+	cpu := tr.MustSeries("power.cpu_w").Resample(72)
+	gpu := tr.MustSeries("power.gpu_w").Resample(72)
+	fmt.Printf("\n%s power over normalized runtime (max %.1f W):\n", name, total.Max())
+	fmt.Printf("  total |%s|\n", spark(total.Values, 0, total.Max()))
+	fmt.Printf("  cpu   |%s|\n", spark(cpu.Values, 0, total.Max()))
+	fmt.Printf("  gpu   |%s|\n", spark(gpu.Values, 0, total.Max()))
+
+	temp := tr.MustSeries("thermal.cpu_c")
+	fmt.Printf("\nCPU die temperature: start %.1f C, end %.1f C, peak %.1f C\n",
+		temp.Values[0], temp.Values[len(temp.Values)-1], temp.Max())
+}
+
+func spark(values []float64, lo, hi float64) string {
+	levels := []rune("▁▂▃▄▅▆▇█")
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(levels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(levels) {
+			idx = len(levels) - 1
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+// Heterogeneity: the paper's CPU-heterogeneity analysis (Section V-C) for a
+// chosen benchmark — how the three core clusters of a big.LITTLE SoC share
+// the work over time, rendered as load-level timelines.
+//
+// Run with:
+//
+//	go run ./examples/heterogeneity [benchmark name]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mobilebench"
+)
+
+func main() {
+	name := "Geekbench 5 CPU"
+	if len(os.Args) > 1 {
+		name = strings.Join(os.Args[1:], " ")
+	}
+	w, err := mobilebench.BenchmarkByName(name)
+	if err != nil {
+		log.Fatalf("%v (try: go run ./examples/heterogeneity Aitutu)", err)
+	}
+
+	c, err := mobilebench.Characterize(mobilebench.Options{
+		Runs:  3,
+		Units: []mobilebench.Workload{w},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tr, err := c.TraceOf(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s — per-cluster load over normalized runtime\n\n", name)
+	glyphs := []rune(" ░▒▓█")
+	for _, cl := range []struct{ label, metric string }{
+		{"CPU Little", "cpu.little.load"},
+		{"CPU Mid   ", "cpu.mid.load"},
+		{"CPU Big   ", "cpu.big.load"},
+	} {
+		s := tr.MustSeries(cl.metric).Resample(72)
+		var bar strings.Builder
+		for _, v := range s.Values {
+			idx := int(v * 4)
+			if idx >= len(glyphs) {
+				idx = len(glyphs) - 1
+			}
+			if idx < 0 {
+				idx = 0
+			}
+			bar.WriteRune(glyphs[idx])
+		}
+		fmt.Printf("%s |%s| mean %.2f\n", cl.label, bar.String(), s.Mean())
+	}
+
+	agg, _ := c.Aggregates(name)
+	fmt.Printf("\ncluster load averages: little %.2f, mid %.2f, big %.2f\n",
+		agg.ClusterLoad[0], agg.ClusterLoad[1], agg.ClusterLoad[2])
+
+	// The load-level occupancy of Figure 3 / Table V.
+	levels, err := c.LoadLevels()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nload-level occupancy (fraction of runtime per 25% band):")
+	labels := []string{"CPU Little", "CPU Mid", "CPU Big"}
+	for k, label := range labels {
+		fmt.Printf("  %-10s", label)
+		for _, f := range levels[0].LevelFrac[k] {
+			fmt.Printf("  %5.1f%%", f*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nbands: 0-25%, 25-50%, 50-75%, 75-100% of the normalized load range")
+}

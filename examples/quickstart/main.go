@@ -1,0 +1,64 @@
+// Quickstart: characterize two commercial benchmarks on the simulated
+// Snapdragon 888 platform and print their headline metrics — the shortest
+// useful tour of the public API.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobilebench"
+)
+
+func main() {
+	wildlife, err := mobilebench.BenchmarkByName("3DMark Wild Life")
+	if err != nil {
+		log.Fatal(err)
+	}
+	geekbench, err := mobilebench.BenchmarkByName("Geekbench 5 CPU")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Characterize with the paper's methodology (3 averaged runs) but only
+	// two benchmarks, so the example finishes in seconds.
+	c, err := mobilebench.Characterize(mobilebench.Options{
+		Runs:  3,
+		Units: []mobilebench.Workload{wildlife, geekbench},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, name := range c.Names() {
+		agg, err := c.Aggregates(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", name)
+		fmt.Printf("  runtime      %7.1f s\n", agg.RuntimeSec)
+		fmt.Printf("  instructions %7.2f billion\n", agg.InstrCount/1e9)
+		fmt.Printf("  IPC          %7.2f\n", agg.IPC)
+		fmt.Printf("  cache MPKI   %7.1f\n", agg.CacheMPKI)
+		fmt.Printf("  branch MPKI  %7.1f\n", agg.BranchMPKI)
+		fmt.Printf("  CPU load     %7.2f (little %.2f / mid %.2f / big %.2f)\n",
+			agg.AvgCPULoad, agg.ClusterLoad[0], agg.ClusterLoad[1], agg.ClusterLoad[2])
+		fmt.Printf("  GPU load     %7.2f\n", agg.AvgGPULoad)
+		fmt.Printf("  memory used  %7.1f %%\n\n", agg.AvgUsedMemFrac*100)
+	}
+
+	// The counter traces behind the aggregates are available too.
+	tr, err := c.TraceOf("3DMark Wild Life")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Wild Life trace: %d hardware counters x %d samples (%.1f s at %.1f Hz)\n",
+		tr.NumMetrics(), tr.Samples, tr.Duration(), 1/tr.DT)
+	gpu := tr.MustSeries("gpu.load")
+	fmt.Printf("GPU load: mean %.2f, peak %.2f, above 50%% for %.0f%% of the run\n",
+		gpu.Mean(), gpu.Max(), gpu.FracAbove(0.5)*100)
+}

@@ -1,0 +1,67 @@
+// Subsetselection: reproduce the paper's benchmark-subsetting workflow and
+// then go beyond it — pick the most representative benchmark set that fits
+// a simulation-time budget.
+//
+// Architectural simulators run thousands of times slower than silicon, so
+// the paper's headline contribution is a reduced set that cuts evaluation
+// time by ~75% while preserving coverage. This example prints the paper's
+// three subsets and then answers the practical question: "I only have N
+// seconds of (simulated) runtime — what should I run?"
+//
+// Run with:
+//
+//	go run ./examples/subsetselection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mobilebench"
+)
+
+func main() {
+	// Full-fidelity characterization of all 18 analysis units (three runs
+	// averaged, as in the paper). Takes about a minute.
+	c, err := mobilebench.Characterize(mobilebench.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("full suite: %d benchmarks, %.0f s of device time\n\n",
+		len(c.Names()), c.TotalRuntime())
+
+	// The paper's Table VI.
+	reds, err := c.Subsets()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("paper subsets (Table VI):")
+	for _, r := range reds {
+		d, err := c.SubsetRepresentativeness(r.Set.Members)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %7.1f s  -%5.2f%%  distance %.2f\n",
+			r.Set.Name, r.RuntimeSec, r.ReductionFrac*100, d)
+	}
+
+	// Beyond the paper: greedy selection under explicit runtime budgets.
+	fmt.Println("\nbudget-driven selection:")
+	for _, budget := range []float64{300, 600, 1200} {
+		set, err := c.SubsetUnderBudget(budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := c.SubsetRepresentativeness(set.Members)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %5.0f s budget -> %d benchmarks, distance %.2f\n",
+			budget, len(set.Members), d)
+		for _, m := range set.Members {
+			agg, _ := c.Aggregates(m)
+			fmt.Printf("      %-28s %6.1f s\n", m, agg.RuntimeSec)
+		}
+	}
+}

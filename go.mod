@@ -1,0 +1,3 @@
+module mobilebench
+
+go 1.24

@@ -1,0 +1,187 @@
+// Package aie models the AI engine / DSP complex (Hexagon-class): a vector
+// processor that accelerates signal-processing and neural-network kernels
+// and hardware video codecs.
+//
+// Workload phases submit operation demands (op class + rate); the model
+// computes AIE load from each class's cost on the vector units. Codec work
+// for formats the hardware does not support (AV1 on the Snapdragon 888) is
+// rejected and reported as CPU fallback demand — the mechanism behind the
+// paper's observation that Antutu UX's AV1 test spikes CPU load.
+package aie
+
+import "mobilebench/internal/soc"
+
+// OpClass identifies a class of accelerated operation.
+type OpClass int
+
+const (
+	// OpNone means no AIE work.
+	OpNone OpClass = iota
+	// OpFFT is fast-Fourier-transform work (3DMark post-processing,
+	// Antutu CPU math).
+	OpFFT
+	// OpGEMM is dense matrix multiplication.
+	OpGEMM
+	// OpConv is convolutional-network inference (image classification,
+	// object detection).
+	OpConv
+	// OpSuperRes is super-resolution inference.
+	OpSuperRes
+	// OpImageProc is general image processing (PNG decode, filters, MAP).
+	OpImageProc
+	// OpPSNR is peak-signal-to-noise-ratio computation over frames
+	// (GFXBench Special render-quality tests).
+	OpPSNR
+	// OpVideoDecode is hardware video decode; the Codec field selects the
+	// format.
+	OpVideoDecode
+	// OpVideoEncode is hardware video encode.
+	OpVideoEncode
+	// OpScroll is UI scroll/webview rendering assistance.
+	OpScroll
+)
+
+// String returns the op class name.
+func (o OpClass) String() string {
+	switch o {
+	case OpNone:
+		return "none"
+	case OpFFT:
+		return "fft"
+	case OpGEMM:
+		return "gemm"
+	case OpConv:
+		return "conv"
+	case OpSuperRes:
+		return "superres"
+	case OpImageProc:
+		return "imageproc"
+	case OpPSNR:
+		return "psnr"
+	case OpVideoDecode:
+		return "videodecode"
+	case OpVideoEncode:
+		return "videoencode"
+	case OpScroll:
+		return "scroll"
+	default:
+		return "op(?)"
+	}
+}
+
+// costPerUnit is vector-lane-cycles per demand unit for each op class.
+// Demand units are normalized so that 1.0 unit/s of OpConv at 1 GHz with
+// 1024 lanes produces roughly 35% load.
+func (o OpClass) costPerUnit() float64 {
+	switch o {
+	case OpFFT:
+		return 2.4e11
+	case OpGEMM:
+		return 3.2e11
+	case OpConv:
+		return 3.6e11
+	case OpSuperRes:
+		return 5.0e11
+	case OpImageProc:
+		return 1.6e11
+	case OpPSNR:
+		return 2.8e11
+	case OpVideoDecode:
+		return 2.0e11
+	case OpVideoEncode:
+		return 3.0e11
+	case OpScroll:
+		return 1.2e11
+	default:
+		return 0
+	}
+}
+
+// Demand is one op-class demand within a phase.
+type Demand struct {
+	Op OpClass
+	// Rate is demand units per second.
+	Rate float64
+	// Codec names the video format for OpVideoDecode/OpVideoEncode.
+	Codec string
+}
+
+// Result is the AIE state over a tick.
+type Result struct {
+	// Load is frequency x utilization normalized to max frequency (0..1).
+	Load float64
+	// Util is busy fraction at the selected frequency.
+	Util float64
+	// FreqHz is the DVFS-selected frequency.
+	FreqHz float64
+	// CPUFallbackDemand is capacity demand (in Big-core units) pushed back
+	// to the CPU because the hardware cannot service it (unsupported
+	// codec).
+	CPUFallbackDemand float64
+}
+
+// Model simulates the AIE.
+type Model struct {
+	hw     soc.AIE
+	freqHz float64
+}
+
+// NewModel creates an AIE model.
+func NewModel(hw soc.AIE) *Model {
+	return &Model{hw: hw, freqHz: 0.2 * hw.MaxFreqHz}
+}
+
+// Reset returns the model to idle.
+func (m *Model) Reset() { m.freqHz = 0.2 * m.hw.MaxFreqHz }
+
+// Step advances the AIE by dt seconds servicing the demands.
+func (m *Model) Step(demands []Demand, dt float64) Result {
+	_ = dt
+	cyclesPerSec := 0.0
+	fallback := 0.0
+	for _, d := range demands {
+		if d.Rate <= 0 || d.Op == OpNone {
+			continue
+		}
+		if d.Op == OpVideoDecode || d.Op == OpVideoEncode {
+			if !m.hw.SupportsCodec(d.Codec) {
+				// Software decode: roughly one Big core per 0.6 units/s
+				// of demand (AV1 software decode is expensive).
+				fallback += d.Rate / 0.6
+				continue
+			}
+		}
+		cyclesPerSec += d.Rate * d.Op.costPerUnit() / float64(m.hw.VectorLanes)
+	}
+
+	demand := cyclesPerSec / m.hw.MaxFreqHz
+	if demand > 1 {
+		demand = 1
+	}
+	target := 1.2 * demand * m.hw.MaxFreqHz
+	min := 0.2 * m.hw.MaxFreqHz
+	if target < min {
+		target = min
+	}
+	if target > m.hw.MaxFreqHz {
+		target = m.hw.MaxFreqHz
+	}
+	if target < m.freqHz {
+		target = m.freqHz - 0.5*(m.freqHz-target)
+	}
+	m.freqHz = target
+
+	util := 0.0
+	if m.freqHz > 0 {
+		util = cyclesPerSec / m.freqHz
+	}
+	if util > 1 {
+		util = 1
+	}
+	return Result{
+		Load:              util * m.freqHz / m.hw.MaxFreqHz,
+		Util:              util,
+		FreqHz:            m.freqHz,
+		CPUFallbackDemand: fallback,
+	}
+}

@@ -1,0 +1,142 @@
+package aie
+
+import (
+	"testing"
+
+	"mobilebench/internal/soc"
+)
+
+func newModel() *Model { return NewModel(soc.Snapdragon888HDK().AIE) }
+
+func TestIdle(t *testing.T) {
+	m := newModel()
+	r := m.Step(nil, 0.1)
+	if r.Load != 0 || r.CPUFallbackDemand != 0 {
+		t.Fatalf("idle AIE reported load %g fallback %g", r.Load, r.CPUFallbackDemand)
+	}
+}
+
+func TestLoadScalesWithRate(t *testing.T) {
+	run := func(rate float64) float64 {
+		m := newModel()
+		var r Result
+		for i := 0; i < 20; i++ {
+			r = m.Step([]Demand{{Op: OpConv, Rate: rate}}, 0.1)
+		}
+		return r.Load
+	}
+	low, high := run(0.2), run(1.0)
+	if high <= low {
+		t.Fatalf("higher rate did not raise load: %g vs %g", high, low)
+	}
+}
+
+func TestLoadBounded(t *testing.T) {
+	m := newModel()
+	var r Result
+	for i := 0; i < 20; i++ {
+		r = m.Step([]Demand{{Op: OpSuperRes, Rate: 100}}, 0.1)
+	}
+	if r.Load > 1 || r.Util > 1 {
+		t.Fatalf("overloaded AIE exceeded bounds: %+v", r)
+	}
+	if r.Load < 0.95 {
+		t.Fatalf("absurd demand should saturate the AIE, load %g", r.Load)
+	}
+}
+
+func TestSupportedCodecStaysOnAIE(t *testing.T) {
+	m := newModel()
+	r := m.Step([]Demand{{Op: OpVideoDecode, Rate: 0.5, Codec: "H264"}}, 0.1)
+	if r.CPUFallbackDemand != 0 {
+		t.Fatalf("H264 decode bounced to the CPU: %g", r.CPUFallbackDemand)
+	}
+	for i := 0; i < 10; i++ {
+		r = m.Step([]Demand{{Op: OpVideoDecode, Rate: 0.5, Codec: "H264"}}, 0.1)
+	}
+	if r.Load == 0 {
+		t.Fatal("hardware decode produced no AIE load")
+	}
+}
+
+func TestAV1FallsBackToCPU(t *testing.T) {
+	// The paper's Antutu UX finding: AV1 is not hardware-supported, so its
+	// decode lands on the CPU.
+	m := newModel()
+	r := m.Step([]Demand{{Op: OpVideoDecode, Rate: 0.6, Codec: "AV1"}}, 0.1)
+	if r.CPUFallbackDemand <= 0 {
+		t.Fatal("AV1 decode did not fall back to the CPU")
+	}
+	if r.Load > 0.25 {
+		t.Fatalf("unsupported codec still loaded the AIE: %g", r.Load)
+	}
+}
+
+func TestEncodeFallbackToo(t *testing.T) {
+	m := newModel()
+	r := m.Step([]Demand{{Op: OpVideoEncode, Rate: 0.5, Codec: "AV1"}}, 0.1)
+	if r.CPUFallbackDemand <= 0 {
+		t.Fatal("unsupported encode did not fall back")
+	}
+}
+
+func TestZeroAndNoneDemandsIgnored(t *testing.T) {
+	m := newModel()
+	r := m.Step([]Demand{{Op: OpFFT, Rate: 0}, {Op: OpNone, Rate: 5}}, 0.1)
+	if r.Util != 0 {
+		t.Fatalf("zero/none demands produced utilization %g", r.Util)
+	}
+}
+
+func TestFrequencyDecaysWhenIdle(t *testing.T) {
+	m := newModel()
+	for i := 0; i < 20; i++ {
+		m.Step([]Demand{{Op: OpConv, Rate: 1.5}}, 0.1)
+	}
+	busy := m.freqHz
+	for i := 0; i < 20; i++ {
+		m.Step(nil, 0.1)
+	}
+	if m.freqHz >= busy {
+		t.Fatal("AIE frequency did not decay when idle")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := newModel()
+	for i := 0; i < 10; i++ {
+		m.Step([]Demand{{Op: OpGEMM, Rate: 1}}, 0.1)
+	}
+	m.Reset()
+	if m.freqHz != 0.2*m.hw.MaxFreqHz {
+		t.Fatal("reset did not restore idle frequency")
+	}
+}
+
+func TestOpCosts(t *testing.T) {
+	ops := []OpClass{OpFFT, OpGEMM, OpConv, OpSuperRes, OpImageProc, OpPSNR, OpVideoDecode, OpVideoEncode, OpScroll}
+	for _, op := range ops {
+		if op.costPerUnit() <= 0 {
+			t.Errorf("%v has non-positive cost", op)
+		}
+	}
+	if OpNone.costPerUnit() != 0 {
+		t.Error("OpNone should cost nothing")
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	if OpFFT.String() != "fft" || OpPSNR.String() != "psnr" || OpNone.String() != "none" {
+		t.Fatal("op names wrong")
+	}
+	if OpClass(99).String() != "op(?)" {
+		t.Fatal("unknown op should stringify defensively")
+	}
+}
+
+func TestSuperResCostsMoreThanImageProc(t *testing.T) {
+	// Relative op intensities: super-resolution inference is the heaviest.
+	if OpSuperRes.costPerUnit() <= OpImageProc.costPerUnit() {
+		t.Fatal("super-resolution should out-cost simple image processing")
+	}
+}

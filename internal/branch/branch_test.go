@@ -1,0 +1,204 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mobilebench/internal/xrand"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Fatalf("counter did not saturate high: %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Fatalf("counter did not saturate low: %d", c)
+	}
+}
+
+func TestCounterPrediction(t *testing.T) {
+	if counter(0).taken() || counter(1).taken() {
+		t.Fatal("weak/strong not-taken predicted taken")
+	}
+	if !counter(2).taken() || !counter(3).taken() {
+		t.Fatal("weak/strong taken predicted not-taken")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(10)
+	pc := uint64(0x4000)
+	for i := 0; i < 16; i++ {
+		b.Update(pc, true)
+	}
+	if !b.Predict(pc) {
+		t.Fatal("bimodal failed to learn an always-taken branch")
+	}
+	for i := 0; i < 16; i++ {
+		b.Update(pc, false)
+	}
+	if b.Predict(pc) {
+		t.Fatal("bimodal failed to unlearn")
+	}
+}
+
+func TestBimodalIndependentSites(t *testing.T) {
+	b := NewBimodal(10)
+	taken, notTaken := uint64(0x4000), uint64(0x4040)
+	for i := 0; i < 16; i++ {
+		b.Update(taken, true)
+		b.Update(notTaken, false)
+	}
+	if !b.Predict(taken) || b.Predict(notTaken) {
+		t.Fatal("sites interfered in bimodal table")
+	}
+}
+
+func TestGShareLearnsAlternation(t *testing.T) {
+	// A strictly alternating branch defeats a bimodal predictor but is
+	// perfectly predictable with history.
+	g := NewGShare(12, 8)
+	pc := uint64(0x4000)
+	outcome := false
+	// Train.
+	for i := 0; i < 4096; i++ {
+		g.Update(pc, outcome)
+		outcome = !outcome
+	}
+	// Measure.
+	wrong := 0
+	for i := 0; i < 512; i++ {
+		if g.Predict(pc) != outcome {
+			wrong++
+		}
+		g.Update(pc, outcome)
+		outcome = !outcome
+	}
+	if frac := float64(wrong) / 512; frac > 0.05 {
+		t.Fatalf("gshare mispredicted %.1f%% of an alternating branch", frac*100)
+	}
+}
+
+func TestTournamentBeatsWorstComponent(t *testing.T) {
+	// On an alternating branch the tournament must approach gshare's
+	// accuracy, not bimodal's coin flip.
+	tr := NewTournament(12, 8)
+	pc := uint64(0x4000)
+	outcome := false
+	for i := 0; i < 8192; i++ {
+		tr.Update(pc, outcome)
+		outcome = !outcome
+	}
+	wrong := 0
+	for i := 0; i < 512; i++ {
+		if tr.Predict(pc) != outcome {
+			wrong++
+		}
+		tr.Update(pc, outcome)
+		outcome = !outcome
+	}
+	if frac := float64(wrong) / 512; frac > 0.10 {
+		t.Fatalf("tournament mispredicted %.1f%% of an alternating branch", frac*100)
+	}
+}
+
+func TestReset(t *testing.T) {
+	for _, p := range []Predictor{NewBimodal(8), NewGShare(8, 4), NewTournament(8, 4)} {
+		pc := uint64(0x1000)
+		for i := 0; i < 8; i++ {
+			p.Update(pc, true)
+		}
+		p.Reset()
+		if p.Predict(pc) {
+			t.Errorf("%s predicted taken after reset", p.Name())
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewBimodal(4).Name() != "bimodal" ||
+		NewGShare(4, 2).Name() != "gshare" ||
+		NewTournament(4, 2).Name() != "tournament" {
+		t.Fatal("predictor names wrong")
+	}
+}
+
+func TestProfileClamp(t *testing.T) {
+	p := Profile{StaticBranches: 0, TakenBias: 2, Entropy: -1, Correlated: 5}.Clamp()
+	if p.StaticBranches < 1 {
+		t.Error("static branches not floored")
+	}
+	if p.TakenBias != 1 || p.Entropy != 0 || p.Correlated != 1 {
+		t.Errorf("profile not clamped: %+v", p)
+	}
+}
+
+func TestStreamMeasureBounds(t *testing.T) {
+	s := NewStream(Profile{StaticBranches: 64, TakenBias: 0.9, Entropy: 0.1}, xrand.New(3))
+	p := NewTournament(12, 8)
+	wrong := s.Measure(p, 5000)
+	if wrong > 5000 {
+		t.Fatalf("more mispredictions (%d) than branches", wrong)
+	}
+	if wrong == 0 {
+		t.Fatal("entropy 0.1 stream cannot be perfectly predicted")
+	}
+}
+
+func TestPredictableStreamsLowMisses(t *testing.T) {
+	// A heavily biased, low-entropy stream must mispredict rarely once the
+	// predictor is warm.
+	s := NewStream(Profile{StaticBranches: 64, TakenBias: 0.99, Entropy: 0.0, Correlated: 0.2}, xrand.New(7))
+	p := NewTournament(14, 12)
+	s.Measure(p, 20000) // warm up
+	wrong := s.Measure(p, 20000)
+	if frac := float64(wrong) / 20000; frac > 0.03 {
+		t.Fatalf("warm predictor mispredicted %.2f%% of a predictable stream", frac*100)
+	}
+}
+
+func TestEntropyRaisesMisses(t *testing.T) {
+	run := func(entropy float64) uint64 {
+		s := NewStream(Profile{StaticBranches: 64, TakenBias: 0.95, Entropy: entropy}, xrand.New(11))
+		p := NewTournament(14, 12)
+		s.Measure(p, 10000)
+		return s.Measure(p, 10000)
+	}
+	low, high := run(0.01), run(0.4)
+	if high <= low {
+		t.Fatalf("entropy 0.4 (%d wrong) not worse than 0.01 (%d wrong)", high, low)
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	mk := func() uint64 {
+		s := NewStream(Profile{StaticBranches: 32, TakenBias: 0.8, Entropy: 0.1}, xrand.New(5))
+		return s.Measure(NewTournament(10, 8), 2000)
+	}
+	if mk() != mk() {
+		t.Fatal("identical seeds produced different misprediction counts")
+	}
+}
+
+func TestQuickMeasureInRange(t *testing.T) {
+	f := func(seed uint64, biasRaw, entRaw uint8) bool {
+		prof := Profile{
+			StaticBranches: 32,
+			TakenBias:      float64(biasRaw) / 255,
+			Entropy:        float64(entRaw) / 255,
+		}
+		s := NewStream(prof, xrand.New(seed))
+		wrong := s.Measure(NewBimodal(10), 500)
+		return wrong <= 500
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Internal validation ---------------------------------------------------
+
+// Dunn returns the Dunn index of the assignment: the minimum inter-cluster
+// distance divided by the maximum intra-cluster diameter. Higher is better.
+func Dunn(rows [][]float64, a Assignment) float64 {
+	d := DistanceMatrix(rows)
+	k := a.K()
+	minInter := math.Inf(1)
+	maxDiam := 0.0
+	for c1 := 0; c1 < k; c1++ {
+		m1 := a.Members(c1)
+		for _, i := range m1 {
+			for _, j := range m1 {
+				if d[i][j] > maxDiam {
+					maxDiam = d[i][j]
+				}
+			}
+		}
+		for c2 := c1 + 1; c2 < k; c2++ {
+			for _, i := range m1 {
+				for _, j := range a.Members(c2) {
+					if d[i][j] < minInter {
+						minInter = d[i][j]
+					}
+				}
+			}
+		}
+	}
+	if maxDiam == 0 {
+		return math.Inf(1)
+	}
+	return minInter / maxDiam
+}
+
+// Silhouette returns the mean silhouette width of the assignment. For each
+// observation, s = (b - a) / max(a, b) where a is the mean distance to its
+// own cluster and b the smallest mean distance to another cluster.
+// Singleton clusters contribute 0, following Kaufman & Rousseeuw. Higher is
+// better; the range is [-1, 1].
+func Silhouette(rows [][]float64, a Assignment) float64 {
+	d := DistanceMatrix(rows)
+	k := a.K()
+	if k < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := range rows {
+		own := a.Members(a[i])
+		if len(own) <= 1 {
+			continue // silhouette of a singleton is defined as 0
+		}
+		ai := 0.0
+		for _, j := range own {
+			if j != i {
+				ai += d[i][j]
+			}
+		}
+		ai /= float64(len(own) - 1)
+
+		bi := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == a[i] {
+				continue
+			}
+			members := a.Members(c)
+			if len(members) == 0 {
+				continue
+			}
+			sum := 0.0
+			for _, j := range members {
+				sum += d[i][j]
+			}
+			if v := sum / float64(len(members)); v < bi {
+				bi = v
+			}
+		}
+		if m := math.Max(ai, bi); m > 0 {
+			total += (bi - ai) / m
+		}
+	}
+	return total / float64(len(rows))
+}
+
+// Stability validation ----------------------------------------------------
+
+// APN returns the average proportion of non-overlap (Datta & Datta): for
+// each feature column removed, the proportion of observations that land in
+// a different cluster than with the full data, averaged over observations
+// and removed columns. Lower is better.
+func APN(alg Algorithm, rows [][]float64, k int, full Assignment) (float64, error) {
+	nc := len(rows[0])
+	total := 0.0
+	for j := 0; j < nc; j++ {
+		reduced, err := alg.Cluster(dropColumn(rows, j), k)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: APN with column %d removed: %w", j, err)
+		}
+		total += proportionNonOverlap(full, reduced)
+	}
+	return total / float64(nc), nil
+}
+
+// proportionNonOverlap computes, per observation, 1 minus the overlap ratio
+// of its full-data cluster and its reduced-data cluster, averaged.
+func proportionNonOverlap(full, reduced Assignment) float64 {
+	n := len(full)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		cf := memberSet(full, full[i])
+		cr := memberSet(reduced, reduced[i])
+		inter := 0
+		for m := range cf {
+			if cr[m] {
+				inter++
+			}
+		}
+		if len(cf) > 0 {
+			total += 1 - float64(inter)/float64(len(cf))
+		}
+	}
+	return total / float64(n)
+}
+
+func memberSet(a Assignment, c int) map[int]bool {
+	out := make(map[int]bool)
+	for i, ci := range a {
+		if ci == c {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// AD returns the average distance measure (Datta & Datta): for each removed
+// column, the mean distance between each observation and the observations
+// placed in the same cluster by both the full and the reduced clustering.
+// Lower is better.
+func AD(alg Algorithm, rows [][]float64, k int, full Assignment) (float64, error) {
+	nc := len(rows[0])
+	d := DistanceMatrix(rows)
+	n := len(rows)
+	total := 0.0
+	for j := 0; j < nc; j++ {
+		reduced, err := alg.Cluster(dropColumn(rows, j), k)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: AD with column %d removed: %w", j, err)
+		}
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			cf := memberSet(full, full[i])
+			cr := memberSet(reduced, reduced[i])
+			cnt, acc := 0, 0.0
+			for m := range cf {
+				if cr[m] {
+					acc += d[i][m]
+					cnt++
+				}
+			}
+			if cnt > 0 {
+				sum += acc / float64(cnt)
+			}
+		}
+		total += sum / float64(n)
+	}
+	return total / float64(nc), nil
+}
+
+// Validation sweep ---------------------------------------------------------
+
+// Scores holds the four validation measures for one (algorithm, k) pair.
+type Scores struct {
+	Algorithm  string
+	K          int
+	Dunn       float64
+	Silhouette float64
+	APN        float64
+	AD         float64
+}
+
+// Sweep runs every algorithm over k = kMin..kMax and returns all scores,
+// reproducing the paper's Figure 4 analysis.
+func Sweep(algs []Algorithm, rows [][]float64, kMin, kMax int) ([]Scores, error) {
+	if kMin < 2 {
+		return nil, fmt.Errorf("cluster: sweep needs kMin >= 2")
+	}
+	if kMax >= len(rows) {
+		kMax = len(rows) - 1
+	}
+	var out []Scores
+	for _, alg := range algs {
+		for k := kMin; k <= kMax; k++ {
+			a, err := alg.Cluster(rows, k)
+			if err != nil {
+				return nil, err
+			}
+			apn, err := APN(alg, rows, k, a)
+			if err != nil {
+				return nil, err
+			}
+			ad, err := AD(alg, rows, k, a)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Scores{
+				Algorithm:  alg.Name(),
+				K:          k,
+				Dunn:       Dunn(rows, a),
+				Silhouette: Silhouette(rows, a),
+				APN:        apn,
+				AD:         ad,
+			})
+		}
+	}
+	return out, nil
+}
+
+// BestK aggregates a sweep the way the paper does: each internal measure
+// votes for the k with the best value per algorithm, stability measures
+// vote likewise, and the k with the most votes wins (ties break low).
+func BestK(scores []Scores) int {
+	votes := make(map[int]int)
+	type key struct {
+		alg     string
+		measure string
+	}
+	best := make(map[key]struct {
+		k int
+		v float64
+	})
+	consider := func(alg, measure string, k int, v float64, higherBetter bool) {
+		kk := key{alg, measure}
+		cur, ok := best[kk]
+		better := v > cur.v
+		if !higherBetter {
+			better = v < cur.v
+		}
+		if !ok || better {
+			best[kk] = struct {
+				k int
+				v float64
+			}{k, v}
+		}
+	}
+	for _, s := range scores {
+		consider(s.Algorithm, "dunn", s.K, s.Dunn, true)
+		consider(s.Algorithm, "silhouette", s.K, s.Silhouette, true)
+		consider(s.Algorithm, "apn", s.K, s.APN, false)
+		consider(s.Algorithm, "ad", s.K, s.AD, false)
+	}
+	for _, b := range best {
+		votes[b.k]++
+	}
+	bestK, bestVotes := 0, -1
+	for k, v := range votes {
+		if v > bestVotes || (v == bestVotes && k < bestK) {
+			bestK, bestVotes = k, v
+		}
+	}
+	return bestK
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDunnOnBlobs(t *testing.T) {
+	rows := blobs()
+	good := Assignment{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}
+	bad := Assignment{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	if Dunn(rows, good) <= Dunn(rows, bad) {
+		t.Fatal("Dunn did not prefer the natural grouping")
+	}
+	if Dunn(rows, good) <= 1 {
+		t.Fatalf("well-separated blobs should have Dunn > 1, got %g", Dunn(rows, good))
+	}
+}
+
+func TestDunnDegenerate(t *testing.T) {
+	rows := [][]float64{{0, 0}, {0, 0}}
+	a := Assignment{0, 1}
+	if !math.IsInf(Dunn(rows, a), 1) {
+		t.Fatal("zero-diameter clusters should give infinite Dunn")
+	}
+}
+
+func TestSilhouetteOnBlobs(t *testing.T) {
+	rows := blobs()
+	good := Assignment{0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2}
+	bad := Assignment{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1}
+	sg, sb := Silhouette(rows, good), Silhouette(rows, bad)
+	if sg <= sb {
+		t.Fatalf("silhouette did not prefer the natural grouping: %g vs %g", sg, sb)
+	}
+	if sg < 0.9 {
+		t.Fatalf("well-separated blobs should have silhouette near 1, got %g", sg)
+	}
+	if sb < -1 || sb > 1 {
+		t.Fatalf("silhouette out of range: %g", sb)
+	}
+}
+
+func TestSilhouetteSingleCluster(t *testing.T) {
+	if Silhouette(blobs(), make(Assignment, 12)) != 0 {
+		t.Fatal("k=1 silhouette should be 0")
+	}
+}
+
+func TestSilhouetteSingletonsContributeZero(t *testing.T) {
+	rows := [][]float64{{0, 0}, {0.1, 0}, {10, 10}}
+	a := Assignment{0, 0, 1}
+	s := Silhouette(rows, a)
+	// The two clustered points have s ~ 1; the singleton contributes 0.
+	want := 2.0 / 3.0
+	if math.Abs(s-want) > 0.05 {
+		t.Fatalf("silhouette = %g, want ~%g", s, want)
+	}
+}
+
+func TestAPNStableData(t *testing.T) {
+	// Blobs separate on both features, so removing either feature keeps the
+	// grouping: APN should be ~0.
+	alg := NewKMeans()
+	full, _ := alg.Cluster(blobs(), 3)
+	apn, err := APN(alg, blobs(), 3, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apn > 0.01 {
+		t.Fatalf("APN on stable data = %g, want ~0", apn)
+	}
+}
+
+func TestAPNUnstableData(t *testing.T) {
+	// Groups separated on exactly one feature each: dropping a column must
+	// scramble assignments and raise APN.
+	rows := [][]float64{
+		{0, 0}, {0, 0.1}, {0, 10}, {0, 10.1},
+		{10, 5}, {10.1, 5}, {0.05, 5}, {0, 5.05},
+	}
+	alg := NewKMeans()
+	full, _ := alg.Cluster(rows, 4)
+	apn, err := APN(alg, rows, 4, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apn <= 0 {
+		t.Fatal("column-dependent grouping should have positive APN")
+	}
+}
+
+func TestADBounds(t *testing.T) {
+	alg := NewKMeans()
+	full, _ := alg.Cluster(blobs(), 3)
+	ad, err := AD(alg, blobs(), 3, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad < 0 {
+		t.Fatalf("AD negative: %g", ad)
+	}
+	// AD shrinks as k grows (smaller clusters, smaller within-distances).
+	full9, _ := alg.Cluster(blobs(), 9)
+	ad9, _ := AD(alg, blobs(), 9, full9)
+	if ad9 >= ad {
+		t.Fatalf("AD should shrink with k: k=3 %g vs k=9 %g", ad, ad9)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	scores, err := Sweep(algorithms(), blobs(), 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 3*3 {
+		t.Fatalf("scores = %d, want 9", len(scores))
+	}
+	if _, err := Sweep(algorithms(), blobs(), 1, 4); err == nil {
+		t.Fatal("kMin=1 accepted")
+	}
+}
+
+func TestSweepClampsKMax(t *testing.T) {
+	rows := blobs()[:4]
+	scores, err := Sweep([]Algorithm{NewKMeans()}, rows, 2, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxK := 0
+	for _, s := range scores {
+		if s.K > maxK {
+			maxK = s.K
+		}
+	}
+	if maxK != 3 {
+		t.Fatalf("kMax not clamped to n-1: %d", maxK)
+	}
+}
+
+func TestBestKOnBlobs(t *testing.T) {
+	scores, err := Sweep(algorithms(), blobs(), 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := BestK(scores); k != 3 {
+		t.Fatalf("BestK = %d, want 3 on three blobs", k)
+	}
+}
+
+func TestProportionNonOverlap(t *testing.T) {
+	full := Assignment{0, 0, 1, 1}
+	if p := proportionNonOverlap(full, full); p != 0 {
+		t.Fatalf("identical assignments overlap = %g, want 0", p)
+	}
+	flipped := Assignment{0, 1, 0, 1}
+	if p := proportionNonOverlap(full, flipped); p != 0.5 {
+		t.Fatalf("half-overlap = %g, want 0.5", p)
+	}
+}

@@ -1,0 +1,155 @@
+// Package core is the paper's primary contribution: the workload
+// characterization pipeline. It runs every benchmark on the simulated
+// platform (three runs averaged, like the paper's methodology), derives the
+// Figure 1 aggregate metrics and Table III correlations, the Figure 2
+// temporal profiles, the Figure 3 / Table V CPU-heterogeneity analysis, the
+// Figure 4-6 similarity analysis, the Table VI / Figure 7 subsetting
+// analysis, and the numbered observations of Section V.
+package core
+
+import (
+	"fmt"
+
+	"mobilebench/internal/profiler"
+	"mobilebench/internal/sim"
+	"mobilebench/internal/workload"
+)
+
+// Options configures dataset collection.
+type Options struct {
+	// Sim configures the engine; the zero value selects defaults
+	// (Snapdragon 888 HDK).
+	Sim sim.Config
+	// Runs is the number of runs averaged per benchmark (default 3, as in
+	// the paper).
+	Runs int
+	// Units overrides the benchmark list (default: the 18 analysis units).
+	Units []workload.Workload
+}
+
+// Unit is one characterized benchmark.
+type Unit struct {
+	Workload workload.Workload
+	// Agg holds the run-averaged aggregate metrics.
+	Agg sim.Aggregates
+	// Trace holds the run-averaged counter time series.
+	Trace *profiler.Trace
+	// Target is the calibration record (zero value if unknown).
+	Target workload.Target
+}
+
+// Dataset is the characterization corpus all analyses consume.
+type Dataset struct {
+	Units []Unit
+	// Runs is how many runs were averaged per unit.
+	Runs int
+}
+
+// Collect runs every unit through the simulator and assembles the dataset.
+func Collect(opts Options) (*Dataset, error) {
+	runs := opts.Runs
+	if runs <= 0 {
+		runs = 3
+	}
+	units := opts.Units
+	if units == nil {
+		units = workload.AnalysisUnits()
+	}
+	eng, err := sim.New(opts.Sim)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Runs: runs}
+	for _, w := range units {
+		res, err := eng.RunAveraged(w, runs)
+		if err != nil {
+			return nil, fmt.Errorf("core: characterizing %s: %w", w.Name, err)
+		}
+		t, _ := workload.TargetFor(w.Name)
+		ds.Units = append(ds.Units, Unit{Workload: w, Agg: res.Agg, Trace: res.Trace, Target: t})
+	}
+	return ds, nil
+}
+
+// Names returns unit names in dataset order.
+func (d *Dataset) Names() []string {
+	out := make([]string, len(d.Units))
+	for i, u := range d.Units {
+		out[i] = u.Workload.Name
+	}
+	return out
+}
+
+// Unit returns the named unit.
+func (d *Dataset) Unit(name string) (Unit, error) {
+	for _, u := range d.Units {
+		if u.Workload.Name == name {
+			return u, nil
+		}
+	}
+	return Unit{}, fmt.Errorf("core: dataset has no unit %q", name)
+}
+
+// TotalRuntimeSec sums the unit runtimes (the "Original Set" runtime of
+// Table VI).
+func (d *Dataset) TotalRuntimeSec() float64 {
+	total := 0.0
+	for _, u := range d.Units {
+		total += u.Agg.RuntimeSec
+	}
+	return total
+}
+
+// FeatureNames lists the per-benchmark metrics used as the clustering and
+// subsetting feature vector ("a vector containing the values of all
+// performance metrics of each benchmark"). Intensive metrics only: the two
+// extensive quantities (dynamic instruction count, runtime) measure how
+// *long* a benchmark is rather than how it behaves, and including them
+// would make GFXBench High — nineteen concatenated scenes — an artificial
+// outlier.
+func FeatureNames() []string {
+	return []string{
+		"ipc",
+		"cache_mpki",
+		"branch_mpki",
+		"cpu_load",
+		"gpu_load",
+		"shaders_busy",
+		"gpu_bus_busy",
+		"aie_load",
+		"used_mem_frac",
+		"storage_util",
+	}
+}
+
+// FeatureVector returns the unit's raw (unnormalized) feature vector in
+// FeatureNames order.
+func (u Unit) FeatureVector() []float64 {
+	storage := 0.0
+	if s := u.Trace.Series(profiler.MetricStorageUtil); s != nil {
+		storage = s.Mean()
+	}
+	a := u.Agg
+	return []float64{
+		a.IPC,
+		a.CacheMPKI,
+		a.BranchMPKI,
+		a.AvgCPULoad,
+		a.AvgGPULoad,
+		a.AvgShadersBusy,
+		a.AvgGPUBusBusy,
+		a.AvgAIELoad,
+		a.AvgUsedMemFrac,
+		storage,
+	}
+}
+
+// FeatureMatrix returns raw feature vectors for all units, one row per
+// benchmark, in dataset order.
+func (d *Dataset) FeatureMatrix() [][]float64 {
+	out := make([][]float64, len(d.Units))
+	for i, u := range d.Units {
+		out[i] = u.FeatureVector()
+	}
+	return out
+}

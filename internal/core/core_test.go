@@ -1,0 +1,345 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"mobilebench/internal/profiler"
+	"mobilebench/internal/sim"
+	"mobilebench/internal/workload"
+)
+
+// The full three-run characterization takes about a minute, so every test in
+// this package shares one dataset.
+var (
+	dsOnce sync.Once
+	dsVal  *Dataset
+	dsErr  error
+)
+
+func dataset(t *testing.T) *Dataset {
+	t.Helper()
+	dsOnce.Do(func() {
+		dsVal, dsErr = Collect(Options{Sim: sim.Config{}, Runs: 3})
+	})
+	if dsErr != nil {
+		t.Fatalf("collecting dataset: %v", dsErr)
+	}
+	return dsVal
+}
+
+func TestDatasetShape(t *testing.T) {
+	d := dataset(t)
+	if len(d.Units) != 18 {
+		t.Fatalf("units = %d, want 18", len(d.Units))
+	}
+	if d.Runs != 3 {
+		t.Fatalf("runs = %d", d.Runs)
+	}
+	names := d.Names()
+	if names[0] != workload.NameSlingshot {
+		t.Fatalf("first unit %q", names[0])
+	}
+	if _, err := d.Unit("nope"); err == nil {
+		t.Fatal("unknown unit accepted")
+	}
+	u, err := d.Unit(workload.NameGB5CPU)
+	if err != nil || u.Workload.Name != workload.NameGB5CPU {
+		t.Fatalf("unit lookup failed: %v", err)
+	}
+	if u.Trace.NumMetrics() < 150 {
+		t.Fatalf("trace has %d metrics", u.Trace.NumMetrics())
+	}
+}
+
+func TestFigure1Calibration(t *testing.T) {
+	d := dataset(t)
+	rows, avg := d.Figure1()
+	if len(rows) != 18 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		tg, ok := workload.TargetFor(r.Name)
+		if !ok {
+			t.Fatalf("no calibration target for %s", r.Name)
+		}
+		if relErr(r.IC/1e9, tg.ICBillions) > 0.06 {
+			t.Errorf("%s IC %.2fB, calibrated %.2fB", r.Name, r.IC/1e9, tg.ICBillions)
+		}
+		if math.Abs(r.IPC-tg.IPC) > 0.08 {
+			t.Errorf("%s IPC %.2f, calibrated %.2f", r.Name, r.IPC, tg.IPC)
+		}
+		if relErr(r.RuntimeSec, tg.RuntimeSec) > 0.03 {
+			t.Errorf("%s runtime %.1f, calibrated %.1f", r.Name, r.RuntimeSec, tg.RuntimeSec)
+		}
+	}
+	// Paper: mean IC ~14 B; mean runtime slightly over 200 s.
+	if math.Abs(avg.IC/1e9-14) > 2 {
+		t.Errorf("mean IC %.1fB, paper ~14B", avg.IC/1e9)
+	}
+	if avg.RuntimeSec < 200 || avg.RuntimeSec > 280 {
+		t.Errorf("mean runtime %.0f s, paper slightly over 200 s", avg.RuntimeSec)
+	}
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+func TestFigure1Extremes(t *testing.T) {
+	// Order-of-magnitude spread: GFXBench Special ~1 B, Geekbench 6 CPU
+	// ~57 B.
+	d := dataset(t)
+	rows, _ := d.Figure1()
+	var min, max Figure1Row
+	min.IC = math.Inf(1)
+	for _, r := range rows {
+		if r.IC < min.IC {
+			min = r
+		}
+		if r.IC > max.IC {
+			max = r
+		}
+	}
+	if min.Name != workload.NameGFXSpecial {
+		t.Errorf("smallest IC is %s, want GFXBench Special", min.Name)
+	}
+	if max.Name != workload.NameGB6CPU {
+		t.Errorf("largest IC is %s, want Geekbench 6 CPU", max.Name)
+	}
+	if ratio := max.IC / min.IC; ratio < 40 || ratio > 80 {
+		t.Errorf("IC spread %.0fx, paper ~57x", ratio)
+	}
+}
+
+func TestTableIIICorrelationShape(t *testing.T) {
+	// Table III's structure: sign and strength bands.
+	d := dataset(t)
+	c := d.TableIII()
+
+	type check struct {
+		a, b     string
+		min, max float64
+	}
+	checks := []check{
+		// IPC vs cache MPKI: strong negative (paper -0.845).
+		{"IPC", "Cache MPKI", -1.0, -0.8},
+		// IPC vs branch MPKI: moderate negative (paper -0.672).
+		{"IPC", "Branch MPKI", -0.95, -0.4},
+		// Cache vs branch MPKI: positive association (paper 0.867).
+		{"Cache MPKI", "Branch MPKI", 0.4, 1.0},
+		// IC vs IPC: moderate positive (paper 0.400).
+		{"IC", "IPC", 0.2, 0.8},
+		// IC vs runtime: moderate positive (paper 0.588).
+		{"IC", "Runtime", 0.25, 0.8},
+		// IPC vs runtime: weak negative (paper -0.242).
+		{"IPC", "Runtime", -0.5, 0.05},
+		// Cache MPKI vs runtime: positive (paper 0.460).
+		{"Cache MPKI", "Runtime", 0.1, 0.7},
+	}
+	for _, ch := range checks {
+		r := c.At(ch.a, ch.b)
+		if r < ch.min || r > ch.max {
+			t.Errorf("corr(%s, %s) = %.3f outside [%g, %g]", ch.a, ch.b, r, ch.min, ch.max)
+		}
+	}
+	// Symmetry and unit diagonal.
+	if c.At("IC", "IPC") != c.At("IPC", "IC") {
+		t.Error("correlation table not symmetric")
+	}
+	if c.At("IC", "IC") != 1 {
+		t.Error("diagonal not 1")
+	}
+}
+
+func TestFigure2Profiles(t *testing.T) {
+	d := dataset(t)
+	profiles, err := d.Figure2(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 18 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	for _, p := range profiles {
+		for _, m := range TableIV() {
+			s := p.Series[m.Key]
+			if s == nil || s.Len() != 100 {
+				t.Fatalf("%s %s series missing or wrong length", p.Name, m.Key)
+			}
+			for _, v := range s.Values {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s %s not normalized: %g", p.Name, m.Key, v)
+				}
+			}
+		}
+	}
+	if _, err := d.Figure2(1); err == nil {
+		t.Fatal("Figure2 with 1 sample accepted")
+	}
+}
+
+func TestFigure2GeekbenchShape(t *testing.T) {
+	// Observation #1's temporal signature: the multi-core pass (second
+	// half) carries visibly more CPU load than the single-core pass.
+	d := dataset(t)
+	profiles, err := d.Figure2(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range profiles {
+		if p.Name != workload.NameGB5CPU && p.Name != workload.NameGB6CPU {
+			continue
+		}
+		s := p.Series["cpu.load"]
+		first, second := 0.0, 0.0
+		for i, v := range s.Values {
+			if i < 50 {
+				first += v
+			} else {
+				second += v
+			}
+		}
+		if second <= first*1.5 {
+			t.Errorf("%s multi-core half (%.1f) not clearly above single-core half (%.1f)",
+				p.Name, second, first)
+		}
+		if len(p.HighRegions["cpu.load"]) == 0 {
+			t.Errorf("%s has no >0.5 CPU-load region", p.Name)
+		}
+	}
+}
+
+func TestMetricBounds(t *testing.T) {
+	d := dataset(t)
+	lo, hi, err := d.MetricBounds("cpu.load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 0 || hi > 1 || hi <= lo {
+		t.Fatalf("cpu.load bounds [%g, %g]", lo, hi)
+	}
+	if _, _, err := d.MetricBounds("nope"); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+func TestFigure3AndTableV(t *testing.T) {
+	d := dataset(t)
+	profiles, err := d.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 18 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	// Occupancies are distributions.
+	for _, p := range profiles {
+		for k := range p.LevelFrac {
+			sum := 0.0
+			for _, f := range p.LevelFrac[k] {
+				sum += f
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Fatalf("%s cluster %d occupancy sums to %g", p.Name, k, sum)
+			}
+		}
+	}
+
+	avg, err := d.TableV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table V shape: Mid is mostly idle (76% at 0-25%), Big mostly
+	// idle (69%) yet with the deepest high-load tail (18% at 75-100%),
+	// Little spends most time in the middle bands.
+	const little, mid, big = 0, 1, 2
+	if avg[mid][0] < 0.6 {
+		t.Errorf("Mid idle fraction %.2f, paper 0.76", avg[mid][0])
+	}
+	if avg[big][0] < 0.55 || avg[big][0] > 0.85 {
+		t.Errorf("Big idle fraction %.2f, paper 0.69", avg[big][0])
+	}
+	if avg[big][3] < 0.10 {
+		t.Errorf("Big 75-100%% fraction %.2f, paper 0.18", avg[big][3])
+	}
+	if avg[big][3] <= avg[mid][3] {
+		t.Errorf("Big high-load tail (%.2f) should exceed Mid's (%.2f)", avg[big][3], avg[mid][3])
+	}
+	if avg[little][0] > 0.6 {
+		t.Errorf("Little idle fraction %.2f; the efficient cores carry the baseline load", avg[little][0])
+	}
+	if midBusy := avg[little][1] + avg[little][2] + avg[little][3]; midBusy < 0.4 {
+		t.Errorf("Little spends %.2f above 25%% load, paper ~0.79", midBusy)
+	}
+}
+
+func TestLevelOf(t *testing.T) {
+	cases := map[float64]int{0: 0, 0.24: 0, 0.25: 1, 0.49: 1, 0.5: 2, 0.74: 2, 0.75: 3, 1: 3}
+	for v, want := range cases {
+		if got := levelOf(v); got != want {
+			t.Errorf("levelOf(%g) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestFigure2HighRegions(t *testing.T) {
+	// The coloured >0.5 regions of Figure 2: GPU-heavy benchmarks show
+	// sustained high GPU-load regions; CPU suites show none.
+	d := dataset(t)
+	profiles, err := d.Figure2(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TemporalProfile{}
+	for _, p := range profiles {
+		byName[p.Name] = p
+	}
+	for _, gpuHeavy := range []string{
+		workload.NameWildLifeExtreme, workload.NameGFXHigh, workload.NameGB6Compute,
+	} {
+		if len(byName[gpuHeavy].HighRegions[profiler.MetricGPULoad]) == 0 {
+			t.Errorf("%s lacks a >0.5 GPU-load region", gpuHeavy)
+		}
+	}
+	for _, cpuOnly := range []string{workload.NameGB5CPU, workload.NameAntutuMem} {
+		if n := len(byName[cpuOnly].HighRegions[profiler.MetricGPULoad]); n != 0 {
+			t.Errorf("%s shows %d GPU-load regions despite not rendering", cpuOnly, n)
+		}
+	}
+	// Wild Life Extreme's memory footprint stays above half the global
+	// range for a sustained stretch (the paper's highest average).
+	wle := byName[workload.NameWildLifeExtreme]
+	frac := 0.0
+	for _, r := range wle.HighRegions[profiler.MetricUsedMem] {
+		frac += r.Frac(100)
+	}
+	if frac < 0.3 {
+		t.Errorf("Wild Life Extreme high-memory coverage %.2f, want sustained", frac)
+	}
+}
+
+func TestTemporalMeansMatchAggregates(t *testing.T) {
+	// The dashed lines of Figure 2 (normalized means) must be consistent
+	// with the Figure 1/Table IV aggregates after undoing normalization.
+	d := dataset(t)
+	profiles, err := d.Figure2(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, err := d.MetricBounds(profiler.MetricCPULoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range profiles {
+		raw := lo + p.Mean[profiler.MetricCPULoad]*(hi-lo)
+		agg := d.Units[i].Agg.AvgCPULoad
+		if math.Abs(raw-agg) > 0.03 {
+			t.Errorf("%s: temporal CPU-load mean %.3f vs aggregate %.3f", p.Name, raw, agg)
+		}
+	}
+}

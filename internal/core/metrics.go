@@ -1,0 +1,96 @@
+package core
+
+import (
+	"mobilebench/internal/stats"
+)
+
+// Figure 1 / Table III: aggregate metrics and their correlations.
+
+// MetricNamesFig1 lists the five Figure 1 metrics in paper order.
+func MetricNamesFig1() []string {
+	return []string{"IC", "IPC", "Cache MPKI", "Branch MPKI", "Runtime"}
+}
+
+// Figure1Row is one benchmark's entry in Figure 1.
+type Figure1Row struct {
+	Name string
+	// Group is the cluster group used for the figure's colouring.
+	Group      int
+	IC         float64
+	IPC        float64
+	CacheMPKI  float64
+	BranchMPKI float64
+	RuntimeSec float64
+}
+
+// Figure1 returns the per-benchmark metric rows plus the per-metric
+// averages (the dashed lines of Figure 1).
+func (d *Dataset) Figure1() (rows []Figure1Row, averages Figure1Row) {
+	for _, u := range d.Units {
+		r := Figure1Row{
+			Name:       u.Workload.Name,
+			Group:      u.Target.Cluster,
+			IC:         u.Agg.InstrCount,
+			IPC:        u.Agg.IPC,
+			CacheMPKI:  u.Agg.CacheMPKI,
+			BranchMPKI: u.Agg.BranchMPKI,
+			RuntimeSec: u.Agg.RuntimeSec,
+		}
+		rows = append(rows, r)
+		averages.IC += r.IC
+		averages.IPC += r.IPC
+		averages.CacheMPKI += r.CacheMPKI
+		averages.BranchMPKI += r.BranchMPKI
+		averages.RuntimeSec += r.RuntimeSec
+	}
+	if n := float64(len(rows)); n > 0 {
+		averages.Name = "average"
+		averages.IC /= n
+		averages.IPC /= n
+		averages.CacheMPKI /= n
+		averages.BranchMPKI /= n
+		averages.RuntimeSec /= n
+	}
+	return rows, averages
+}
+
+// CorrelationTable is Table III: the Pearson matrix over the five Figure 1
+// metrics, indexed as MetricNamesFig1.
+type CorrelationTable struct {
+	Metrics []string
+	R       [][]float64
+}
+
+// At returns the correlation between the named metrics.
+func (t CorrelationTable) At(a, b string) float64 {
+	ia, ib := -1, -1
+	for i, m := range t.Metrics {
+		if m == a {
+			ia = i
+		}
+		if m == b {
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 {
+		return 0
+	}
+	return t.R[ia][ib]
+}
+
+// TableIII computes the metric correlation matrix across benchmarks.
+func (d *Dataset) TableIII() CorrelationTable {
+	rows, _ := d.Figure1()
+	cols := make([][]float64, 5)
+	for i := range cols {
+		cols[i] = make([]float64, len(rows))
+	}
+	for j, r := range rows {
+		cols[0][j] = r.IC
+		cols[1][j] = r.IPC
+		cols[2][j] = r.CacheMPKI
+		cols[3][j] = r.BranchMPKI
+		cols[4][j] = r.RuntimeSec
+	}
+	return CorrelationTable{Metrics: MetricNamesFig1(), R: stats.CorrelationMatrix(cols)}
+}

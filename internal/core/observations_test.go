@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mobilebench/internal/workload"
+)
+
+func TestAllObservationsHold(t *testing.T) {
+	// Section V of the paper: every numbered observation plus the two
+	// additional findings must hold on the simulated dataset.
+	d := dataset(t)
+	obs, err := d.Observations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 11 {
+		t.Fatalf("observations = %d, want 11 (9 numbered + 2 extras)", len(obs))
+	}
+	for _, o := range obs {
+		if !o.Holds {
+			t.Errorf("observation #%d %q failed: %s", o.ID, o.Title, o.Detail)
+		}
+	}
+}
+
+func TestVulkanVsOpenGLDelta(t *testing.T) {
+	// Paper: OpenGL GFXBench scenes carry 9.26% more GPU load than Vulkan
+	// ones; the reproduction must land in the single-digit positive range.
+	d := dataset(t)
+	gl, vk, err := d.GFXBenchAPILoads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := (gl - vk) / vk * 100
+	if delta < 2 || delta > 15 {
+		t.Fatalf("OpenGL-vs-Vulkan GPU load delta %.1f%%, paper 9.26%%", delta)
+	}
+}
+
+func TestOffscreenDeltas(t *testing.T) {
+	// Paper: off-screen raises GPU load by 14.5% (High-Level) and 62.85%
+	// (Low-Level); the low-level boost must dominate.
+	d := dataset(t)
+	highOn, highOff, err := d.offscreenLoads(workload.NameGFXHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowOn, lowOff, err := d.offscreenLoads(workload.NameGFXLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highGain := (highOff - highOn) / highOn * 100
+	lowGain := (lowOff - lowOn) / lowOn * 100
+	if highGain < 5 || highGain > 35 {
+		t.Errorf("high-level off-screen gain %.1f%%, paper 14.5%%", highGain)
+	}
+	if lowGain < 40 || lowGain > 95 {
+		t.Errorf("low-level off-screen gain %.1f%%, paper 62.85%%", lowGain)
+	}
+	if lowGain <= highGain {
+		t.Error("low-level tests must gain more from off-screen rendering")
+	}
+}
+
+func TestAIEAverageNearFivePercent(t *testing.T) {
+	// Observation #5's headline number.
+	d := dataset(t)
+	sum := 0.0
+	for _, u := range d.Units {
+		sum += u.Agg.AvgAIELoad
+	}
+	avg := sum / float64(len(d.Units))
+	if avg < 0.02 || avg > 0.09 {
+		t.Fatalf("average AIE load %.1f%%, paper ~5%%", avg*100)
+	}
+}
+
+func TestMemoryFindings(t *testing.T) {
+	// Observation #6's supporting numbers: ~21.6% average usage; 4.3 GB
+	// peak in Antutu GPU; highest average in Wild Life Extreme (3.8 GB).
+	d := dataset(t)
+	sum := 0.0
+	var peakName string
+	var peakMB float64
+	var avgName string
+	var avgMB float64
+	for _, u := range d.Units {
+		sum += u.Agg.AvgUsedMemFrac
+		if u.Agg.PeakUsedMemMB > peakMB {
+			peakName, peakMB = u.Workload.Name, u.Agg.PeakUsedMemMB
+		}
+		if u.Agg.AvgUsedMemMB > avgMB {
+			avgName, avgMB = u.Workload.Name, u.Agg.AvgUsedMemMB
+		}
+	}
+	if avg := sum / float64(len(d.Units)); math.Abs(avg-0.216) > 0.035 {
+		t.Errorf("average memory usage %.3f, paper 0.216", avg)
+	}
+	if peakName != workload.NameAntutuGPU {
+		t.Errorf("peak memory in %s, paper: Antutu GPU", peakName)
+	}
+	if math.Abs(peakMB/1024-4.3) > 0.3 {
+		t.Errorf("peak usage %.2f GB, paper 4.3 GB", peakMB/1024)
+	}
+	if avgName != workload.NameWildLifeExtreme {
+		t.Errorf("highest average memory in %s, paper: Wild Life Extreme", avgName)
+	}
+	if math.Abs(avgMB/1024-3.8) > 0.3 {
+		t.Errorf("highest average %.2f GB, paper 3.8 GB", avgMB/1024)
+	}
+}
+
+func TestAntutuGPUSceneLoads(t *testing.T) {
+	// Observation #4's numbers: Swordsman, Refinery and Terracotta carry
+	// 28%, 31% and 35% CPU load.
+	d := dataset(t)
+	u, err := d.Unit(workload.NameAntutuGPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swordsman := u.windowMean("cpu.load", 0.0, 0.15)
+	refinery := u.windowMean("cpu.load", 0.18, 0.44)
+	terracotta := u.windowMean("cpu.load", 0.50, 0.93)
+	if math.Abs(swordsman-0.28) > 0.05 {
+		t.Errorf("Swordsman CPU load %.2f, paper 0.28", swordsman)
+	}
+	if math.Abs(refinery-0.31) > 0.05 {
+		t.Errorf("Refinery CPU load %.2f, paper 0.31", refinery)
+	}
+	if math.Abs(terracotta-0.35) > 0.05 {
+		t.Errorf("Terracotta CPU load %.2f, paper 0.35", terracotta)
+	}
+}
+
+func TestGeekbenchSingleCoreLoad(t *testing.T) {
+	// Observation #1: "The single-core part has a significantly lower CPU
+	// load of close to 30% for both benchmarks."
+	d := dataset(t)
+	for _, name := range []string{workload.NameGB5CPU, workload.NameGB6CPU} {
+		u, err := d.Unit(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single := u.windowMean("cpu.load", 0.10, 0.50)
+		if single < 0.15 || single > 0.45 {
+			t.Errorf("%s single-core CPU load %.2f, paper ~0.30", name, single)
+		}
+	}
+}
+
+func TestAitutuMidClusterDominance(t *testing.T) {
+	// Observation #7: Aitutu is the only benchmark where the Mid cluster
+	// sustains high load longer than Big.
+	d := dataset(t)
+	u, err := d.Unit(workload.NameAitutu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Agg.ClusterLoad[1] <= u.Agg.ClusterLoad[2] {
+		t.Fatalf("Aitutu mid load %.2f not above big load %.2f",
+			u.Agg.ClusterLoad[1], u.Agg.ClusterLoad[2])
+	}
+}
+
+func TestUXAIEPeaks(t *testing.T) {
+	// Observation #5: Antutu UX exhibits short peaks close to 50% AIE load.
+	d := dataset(t)
+	u, err := d.Unit(workload.NameAntutuUX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := u.Trace.MustSeries("aie.load").Max()
+	if peak < 0.35 || peak > 0.65 {
+		t.Fatalf("Antutu UX AIE peak %.2f, paper ~0.50", peak)
+	}
+	// Peaks, not sustained: the average stays well below the peak.
+	if avg := u.Agg.AvgAIELoad; avg > peak/2 {
+		t.Fatalf("UX AIE average %.2f not peaky relative to max %.2f", avg, peak)
+	}
+}
+
+func TestWindowMeanHelpers(t *testing.T) {
+	d := dataset(t)
+	u := d.Units[0]
+	if v := u.windowMean("cpu.load", 0.5, 0.5); v != 0 {
+		t.Fatal("empty window should yield 0")
+	}
+	if v := u.windowMean("missing-metric", 0, 1); v != 0 {
+		t.Fatal("missing metric should yield 0")
+	}
+	if v := u.windowMean("cpu.load", -1, 2); v <= 0 {
+		t.Fatal("clamped full window should be positive")
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mobilebench/internal/subset"
+	"mobilebench/internal/workload"
+)
+
+func TestNaiveSetMatchesPaper(t *testing.T) {
+	// Paper: "The Naive subset is comprised of PCMark Storage, Geekbench 5
+	// CPU, GFXBench Special, 3DMark Wild Life and Geekbench 5 Compute."
+	d := dataset(t)
+	fig5, _, err := d.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := d.NaiveSet(fig5.Assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		workload.NamePCMarkStorage: true,
+		workload.NameGB5CPU:        true,
+		workload.NameGFXSpecial:    true,
+		workload.NameWildLife:      true,
+		workload.NameGB5Compute:    true,
+	}
+	if len(naive.Members) != 5 {
+		t.Fatalf("naive set = %v", naive.Members)
+	}
+	for _, m := range naive.Members {
+		if !want[m] {
+			t.Errorf("unexpected naive member %s", m)
+		}
+	}
+}
+
+func TestSelectSetsComposition(t *testing.T) {
+	d := dataset(t)
+	sel := d.SelectSet()
+	// Antutu runs in its entirety (four segments) plus the AIE and CPU
+	// coverage picks.
+	if len(sel.Members) != 6 {
+		t.Fatalf("select set = %v", sel.Members)
+	}
+	for _, m := range []string{
+		workload.NameAntutuCPU, workload.NameAntutuGPU,
+		workload.NameAntutuMem, workload.NameAntutuUX,
+		workload.NameGFXSpecial, workload.NameGB5CPU,
+	} {
+		if !sel.Contains(m) {
+			t.Errorf("select set missing %s", m)
+		}
+	}
+	plus := d.SelectPlusGPUSet()
+	if len(plus.Members) != 7 || !plus.Contains(workload.NameGB6CPU) {
+		t.Fatalf("select+GPU set = %v", plus.Members)
+	}
+	alt := d.SelectPlusGPUComputeSet()
+	if !alt.Contains(workload.NameGB6Compute) {
+		t.Fatalf("rationale-faithful variant = %v", alt.Members)
+	}
+}
+
+func TestTableVINumbers(t *testing.T) {
+	// Table VI: original 4429.5 s; Naive 401.7 s (-90.93%); Select 865.2 s
+	// (-80.47%); Select+GPU 1108.36 s (-74.98%).
+	d := dataset(t)
+	reds, err := d.TableVI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reds) != 3 {
+		t.Fatalf("reductions = %d", len(reds))
+	}
+	if relErr(d.TotalRuntimeSec(), 4429.5) > 0.01 {
+		t.Errorf("original runtime %.1f, paper 4429.5", d.TotalRuntimeSec())
+	}
+	expect := map[string]struct {
+		runtime float64
+		reduce  float64
+	}{
+		"Naive":      {401.7, 0.9093},
+		"Select":     {865.2, 0.8047},
+		"Select+GPU": {1108.36, 0.7498},
+	}
+	for _, r := range reds {
+		want, ok := expect[r.Set.Name]
+		if !ok {
+			t.Errorf("unexpected set %q", r.Set.Name)
+			continue
+		}
+		if relErr(r.RuntimeSec, want.runtime) > 0.015 {
+			t.Errorf("%s runtime %.1f, paper %.1f", r.Set.Name, r.RuntimeSec, want.runtime)
+		}
+		if math.Abs(r.ReductionFrac-want.reduce) > 0.01 {
+			t.Errorf("%s reduction %.4f, paper %.4f", r.Set.Name, r.ReductionFrac, want.reduce)
+		}
+	}
+	// The headline claim: even the slowest subset reduces evaluation time
+	// by close to 75%.
+	for _, r := range reds {
+		if r.ReductionFrac < 0.74 {
+			t.Errorf("%s reduction %.2f%% below the paper's 75%% floor",
+				r.Set.Name, r.ReductionFrac*100)
+		}
+	}
+}
+
+func TestFigure7Curves(t *testing.T) {
+	d := dataset(t)
+	curves, err := d.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 3 {
+		t.Fatalf("curves = %d", len(curves))
+	}
+	for name, curve := range curves {
+		if len(curve) != 18 {
+			t.Errorf("%s curve length %d, want 18", name, len(curve))
+		}
+		if curve[len(curve)-1].Distance != 0 {
+			t.Errorf("%s curve does not end at 0", name)
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i].Distance > curve[i-1].Distance+1e-9 {
+				t.Errorf("%s curve increases at step %d", name, i)
+			}
+		}
+	}
+	// Paper: the Select+GPU subset at 7 benchmarks beats the Naive subset
+	// at 5 benchmarks.
+	naive5 := curves["Naive"][4].Distance
+	selGPU7 := curves["Select+GPU"][6].Distance
+	if selGPU7 >= naive5 {
+		t.Errorf("Select+GPU@7 (%.2f) not below Naive@5 (%.2f)", selGPU7, naive5)
+	}
+}
+
+func TestSubsetBenchmarksNormalized(t *testing.T) {
+	d := dataset(t)
+	bs := d.SubsetBenchmarks()
+	if len(bs) != 18 {
+		t.Fatalf("benchmarks = %d", len(bs))
+	}
+	for _, b := range bs {
+		if b.RuntimeSec <= 0 {
+			t.Errorf("%s runtime %.1f", b.Name, b.RuntimeSec)
+		}
+		for _, v := range b.Features {
+			// Yi et al. normalization: to the maximum recorded value.
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Errorf("%s feature %g outside [0,1]", b.Name, v)
+			}
+		}
+	}
+}
+
+func TestCoverageRationales(t *testing.T) {
+	// Paper: GFXBench Special provides the highest AIE load (the Select
+	// rationale); the Select+GPU rationale references the highest average
+	// GPU load benchmark.
+	d := dataset(t)
+	aieName, aieLoad := d.HighestAvgAIELoad()
+	if aieName != workload.NameGFXSpecial {
+		t.Errorf("highest AIE load is %s (%.2f), paper: GFXBench Special", aieName, aieLoad)
+	}
+	gpuName, gpuLoad := d.HighestAvgGPULoad()
+	if gpuName != workload.NameGB6Compute {
+		t.Errorf("highest GPU load is %s (%.2f); the Select+GPU rationale expects a Geekbench 6 benchmark",
+			gpuName, gpuLoad)
+	}
+}
+
+func TestGreedySubsetBeatsWorstSingleton(t *testing.T) {
+	d := dataset(t)
+	bs := d.SubsetBenchmarks()
+	g, err := subset.Greedy(bs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, _ := subset.TotalMinDistance(bs, g.Members)
+	// Greedy 5 must be at least as representative as the Naive 5.
+	fig5, _, _ := d.Figure5()
+	naive, _ := d.NaiveSet(fig5.Assign)
+	nd, _ := subset.TotalMinDistance(bs, naive.Members)
+	if gd > nd+1e-9 {
+		t.Errorf("greedy-5 distance %.2f worse than naive-5 %.2f", gd, nd)
+	}
+}

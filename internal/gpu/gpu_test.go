@@ -1,0 +1,207 @@
+package gpu
+
+import (
+	"testing"
+
+	"mobilebench/internal/soc"
+	"mobilebench/internal/xrand"
+)
+
+func newModel() *Model {
+	p := soc.Snapdragon888HDK()
+	return NewModel(p.GPU, p.Display, xrand.New(7))
+}
+
+func fhdScene(api API, wpp float64, offscreen bool) Scene {
+	return Scene{
+		API:                  api,
+		Width:                1920,
+		Height:               1080,
+		WorkPerPixel:         wpp,
+		TextureBytesPerFrame: 200 << 20,
+		FramebufferFactor:    2,
+		Offscreen:            offscreen,
+		DrawCallsPerFrame:    900,
+		TextureWorkingSetMB:  600,
+	}
+}
+
+func TestIdleScene(t *testing.T) {
+	m := newModel()
+	r := m.Step(Scene{}, 0.1)
+	if r.Load != 0 || r.FPS != 0 {
+		t.Fatalf("idle GPU reported load %g fps %g", r.Load, r.FPS)
+	}
+}
+
+func TestIdleFrequencyDecays(t *testing.T) {
+	m := newModel()
+	// Spin up.
+	for i := 0; i < 20; i++ {
+		m.Step(fhdScene(Vulkan, 5000, false), 0.1)
+	}
+	busy := m.freqHz
+	for i := 0; i < 30; i++ {
+		m.Step(Scene{}, 0.1)
+	}
+	if m.freqHz >= busy {
+		t.Fatal("GPU frequency did not decay when idle")
+	}
+}
+
+func TestVsyncCap(t *testing.T) {
+	m := newModel()
+	var r Result
+	for i := 0; i < 20; i++ {
+		r = m.Step(fhdScene(Vulkan, 500, false), 0.1) // light scene
+	}
+	if r.FPS > 60.01 {
+		t.Fatalf("on-screen scene exceeded the 60 Hz refresh: %g fps", r.FPS)
+	}
+}
+
+func TestOffscreenUncapped(t *testing.T) {
+	m := newModel()
+	scene := fhdScene(Vulkan, 500, true)
+	scene.DrawCallsPerFrame = 100 // not submission-bound
+	var r Result
+	for i := 0; i < 20; i++ {
+		r = m.Step(scene, 0.1)
+	}
+	if r.FPS <= 60 {
+		t.Fatalf("off-screen light scene should exceed 60 fps, got %g", r.FPS)
+	}
+}
+
+func TestOffscreenRaisesLoad(t *testing.T) {
+	// The paper: off-screen variants impose higher GPU load.
+	run := func(off bool) float64 {
+		m := newModel()
+		var r Result
+		scene := fhdScene(OpenGL, 2600, off)
+		scene.DrawCallsPerFrame = 6100
+		for i := 0; i < 30; i++ {
+			r = m.Step(scene, 0.1)
+		}
+		return r.Load
+	}
+	on, off := run(false), run(true)
+	if off <= on {
+		t.Fatalf("off-screen load %g not above on-screen %g", off, on)
+	}
+}
+
+func TestOpenGLCostsMoreThanVulkan(t *testing.T) {
+	// Observation #2: same scene, higher GPU load under OpenGL.
+	run := func(api API) float64 {
+		m := newModel()
+		var r Result
+		for i := 0; i < 30; i++ {
+			r = m.Step(fhdScene(api, 4000, false), 0.1)
+		}
+		return r.Load
+	}
+	gl, vk := run(OpenGL), run(Vulkan)
+	if gl <= vk {
+		t.Fatalf("OpenGL load %g not above Vulkan %g", gl, vk)
+	}
+}
+
+func TestSubmissionBound(t *testing.T) {
+	m := newModel()
+	scene := fhdScene(OpenGL, 300, true) // trivially light
+	scene.DrawCallsPerFrame = 60000      // but submission-heavy
+	var r Result
+	for i := 0; i < 20; i++ {
+		r = m.Step(scene, 0.1)
+	}
+	if r.FPS > 0.6e6/60000+0.01 {
+		t.Fatalf("draw-call bound scene ran at %g fps, want <= %g", r.FPS, 0.6e6/60000)
+	}
+}
+
+func TestBoundsAndSaturation(t *testing.T) {
+	m := newModel()
+	var r Result
+	for i := 0; i < 40; i++ {
+		r = m.Step(fhdScene(Vulkan, 50000, true), 0.1) // impossible scene
+	}
+	if r.Load > 1 || r.Util > 1 || r.BusBusy > 1 || r.ShadersBusy > 1 {
+		t.Fatalf("metrics exceeded 1: %+v", r)
+	}
+	if r.Util < 0.98 {
+		t.Fatalf("impossible scene should saturate the GPU, util %g", r.Util)
+	}
+}
+
+func TestTexMissRatioBounds(t *testing.T) {
+	m := newModel()
+	r := m.Step(fhdScene(Vulkan, 3000, false), 0.1)
+	if r.TexMissRatio < 0 || r.TexMissRatio > 1 {
+		t.Fatalf("texture miss ratio out of range: %g", r.TexMissRatio)
+	}
+}
+
+func TestBiggerTextureWorkingSetMissesMore(t *testing.T) {
+	run := func(wsMB float64) float64 {
+		m := newModel()
+		s := fhdScene(Vulkan, 3000, false)
+		s.TextureWorkingSetMB = wsMB
+		var r Result
+		for i := 0; i < 10; i++ {
+			r = m.Step(s, 0.1)
+		}
+		return r.TexMissRatio
+	}
+	small, large := run(1), run(2000)
+	if large <= small {
+		t.Fatalf("texture working set %g MB misses (%g) not above 1 MB (%g)", 2000.0, large, small)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		p := soc.Snapdragon888HDK()
+		m := NewModel(p.GPU, p.Display, xrand.New(3))
+		var r Result
+		for i := 0; i < 25; i++ {
+			r = m.Step(fhdScene(OpenGL, 3500, false), 0.1)
+		}
+		return r
+	}
+	if run() != run() {
+		t.Fatal("GPU model not deterministic for a fixed seed")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := newModel()
+	for i := 0; i < 10; i++ {
+		m.Step(fhdScene(Vulkan, 4000, false), 0.1)
+	}
+	m.Reset()
+	if m.freqHz != m.hw.MinFreqHz {
+		t.Fatal("reset did not restore idle frequency")
+	}
+}
+
+func TestAPIStrings(t *testing.T) {
+	cases := map[API]string{APINone: "none", OpenGL: "OpenGL", Vulkan: "Vulkan", Compute: "Compute"}
+	for api, want := range cases {
+		if api.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(api), api.String(), want)
+		}
+	}
+}
+
+func TestBytesMovedScalesWithDT(t *testing.T) {
+	m1, m2 := newModel(), newModel()
+	var r1, r2 Result
+	for i := 0; i < 10; i++ {
+		r1 = m1.Step(fhdScene(Vulkan, 3000, false), 0.1)
+		r2 = m2.Step(fhdScene(Vulkan, 3000, false), 0.2)
+	}
+	if r2.BytesMoved <= r1.BytesMoved {
+		t.Fatalf("longer tick moved less data: %g vs %g", r2.BytesMoved, r1.BytesMoved)
+	}
+}

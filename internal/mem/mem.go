@@ -1,0 +1,143 @@
+// Package mem models system memory occupancy and the storage subsystem.
+//
+// Memory is tracked as the sum of the idle OS baseline and per-component
+// workload footprints (CPU heap, GPU texture/buffer residency, media
+// buffers). The profiler reports total usage and, following the paper's
+// methodology, a baseline-corrected per-workload figure. Storage services
+// sequential and random IO demands at the platform's rated throughput.
+package mem
+
+import "mobilebench/internal/soc"
+
+// Footprint is a workload phase's memory residency in MB by component.
+type Footprint struct {
+	// CPUHeapMB is anonymous + file-backed memory of the benchmark process.
+	CPUHeapMB float64
+	// GPUMB is graphics residency: textures, render targets, buffers.
+	GPUMB float64
+	// MediaMB is codec and camera buffer residency.
+	MediaMB float64
+}
+
+// Total returns the sum of all components.
+func (f Footprint) Total() float64 { return f.CPUHeapMB + f.GPUMB + f.MediaMB }
+
+// Model tracks memory occupancy over time.
+type Model struct {
+	hw soc.Memory
+	// current is the smoothed workload footprint; allocation and freeing
+	// are not instantaneous on a real device (zram, lazy reclaim).
+	current Footprint
+}
+
+// NewModel creates a memory model for the platform.
+func NewModel(hw soc.Memory) *Model { return &Model{hw: hw} }
+
+// Reset drops all workload residency.
+func (m *Model) Reset() { m.current = Footprint{} }
+
+// Step moves current residency toward the phase's target footprint with a
+// first-order lag (time constant ~2s for growth, ~6s for reclaim) and
+// returns the resulting state.
+func (m *Model) Step(target Footprint, dt float64) Result {
+	lag := func(cur, tgt float64) float64 {
+		tau := 2.0
+		if tgt < cur {
+			tau = 6.0
+		}
+		alpha := dt / tau
+		if alpha > 1 {
+			alpha = 1
+		}
+		return cur + alpha*(tgt-cur)
+	}
+	m.current.CPUHeapMB = lag(m.current.CPUHeapMB, target.CPUHeapMB)
+	m.current.GPUMB = lag(m.current.GPUMB, target.GPUMB)
+	m.current.MediaMB = lag(m.current.MediaMB, target.MediaMB)
+
+	used := m.hw.IdleOSMB + m.current.Total()
+	if used > m.hw.TotalMB {
+		used = m.hw.TotalMB
+	}
+	return Result{
+		UsedMB:         used,
+		UsedFrac:       used / m.hw.TotalMB,
+		WorkloadMB:     m.current.Total(),
+		WorkloadFrac:   m.current.Total() / m.hw.TotalMB,
+		FootprintByUse: m.current,
+	}
+}
+
+// Result is the memory state over a tick.
+type Result struct {
+	// UsedMB is total system memory in use including the OS baseline.
+	UsedMB float64
+	// UsedFrac is UsedMB over total memory (the paper's "Used Memory").
+	UsedFrac float64
+	// WorkloadMB is the baseline-corrected workload footprint.
+	WorkloadMB float64
+	// WorkloadFrac is WorkloadMB over total memory.
+	WorkloadFrac float64
+	// FootprintByUse breaks the workload footprint down by component.
+	FootprintByUse Footprint
+}
+
+// IODemand is a storage demand for one tick.
+type IODemand struct {
+	SeqReadMBs    float64
+	SeqWriteMBs   float64
+	RandReadIOPS  float64
+	RandWriteIOPS float64
+	// DatabaseOpsPerSec models SQLite-style transactional load.
+	DatabaseOpsPerSec float64
+}
+
+// IOResult is the storage state over a tick.
+type IOResult struct {
+	// Util is storage utilization 0..1 (max across channels).
+	Util float64
+	// BytesMoved is data transferred this tick.
+	BytesMoved float64
+	// CPUDemand is capacity demand (Big-core units) for IO submission and
+	// filesystem overhead.
+	CPUDemand float64
+}
+
+// Storage models the flash subsystem.
+type Storage struct {
+	hw soc.Storage
+}
+
+// NewStorage creates a storage model.
+func NewStorage(hw soc.Storage) *Storage { return &Storage{hw: hw} }
+
+// Step services the demand for dt seconds.
+func (s *Storage) Step(d IODemand, dt float64) IOResult {
+	clamp := func(v float64) float64 {
+		if v > 1 {
+			return 1
+		}
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	seqR := clamp(d.SeqReadMBs / s.hw.SeqReadMBs)
+	seqW := clamp(d.SeqWriteMBs / s.hw.SeqWriteMBs)
+	rndR := clamp(d.RandReadIOPS / s.hw.RandReadIOPS)
+	rndW := clamp(d.RandWriteIOPS / s.hw.RandWriteIOPS)
+	db := clamp(d.DatabaseOpsPerSec / 50000)
+
+	util := seqR
+	for _, v := range []float64{seqW, rndR, rndW, db} {
+		if v > util {
+			util = v
+		}
+	}
+	bytes := (d.SeqReadMBs + d.SeqWriteMBs) * 1e6 * dt
+	bytes += (d.RandReadIOPS + d.RandWriteIOPS) * 4096 * dt
+
+	// IO submission burns CPU: interrupt handling, filesystem, SQLite.
+	cpuDemand := 0.15*(rndR+rndW) + 0.05*(seqR+seqW) + 0.5*db
+	return IOResult{Util: util, BytesMoved: bytes, CPUDemand: cpuDemand}
+}

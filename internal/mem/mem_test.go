@@ -1,0 +1,138 @@
+package mem
+
+import (
+	"math"
+	"testing"
+
+	"mobilebench/internal/soc"
+)
+
+func newModel() *Model { return NewModel(soc.Snapdragon888HDK().Memory) }
+
+func TestIdleBaseline(t *testing.T) {
+	m := newModel()
+	r := m.Step(Footprint{}, 0.1)
+	hw := soc.Snapdragon888HDK().Memory
+	if math.Abs(r.UsedMB-hw.IdleOSMB) > 1 {
+		t.Fatalf("idle usage %g, want OS baseline %g", r.UsedMB, hw.IdleOSMB)
+	}
+	if r.WorkloadMB > 1 {
+		t.Fatalf("idle workload footprint %g, want ~0", r.WorkloadMB)
+	}
+}
+
+func TestFootprintConverges(t *testing.T) {
+	m := newModel()
+	target := Footprint{CPUHeapMB: 800, GPUMB: 1200, MediaMB: 100}
+	var r Result
+	for i := 0; i < 400; i++ { // 40 simulated seconds
+		r = m.Step(target, 0.1)
+	}
+	if math.Abs(r.WorkloadMB-target.Total()) > 20 {
+		t.Fatalf("footprint converged to %g, want %g", r.WorkloadMB, target.Total())
+	}
+}
+
+func TestGrowthFasterThanReclaim(t *testing.T) {
+	m := newModel()
+	target := Footprint{CPUHeapMB: 1000}
+	for i := 0; i < 20; i++ { // 2s of growth
+		m.Step(target, 0.1)
+	}
+	afterGrowth := m.Step(target, 0.1).WorkloadMB
+	for i := 0; i < 20; i++ { // 2s of reclaim
+		m.Step(Footprint{}, 0.1)
+	}
+	afterReclaim := m.Step(Footprint{}, 0.1).WorkloadMB
+	grown := afterGrowth
+	reclaimed := afterGrowth - afterReclaim
+	if reclaimed >= grown {
+		t.Fatalf("reclaim (%g MB in 2 s) should lag allocation (%g MB in 2 s)", reclaimed, grown)
+	}
+}
+
+func TestUsageCappedAtTotal(t *testing.T) {
+	m := newModel()
+	hw := soc.Snapdragon888HDK().Memory
+	var r Result
+	for i := 0; i < 1000; i++ {
+		r = m.Step(Footprint{CPUHeapMB: 50000}, 0.1)
+	}
+	if r.UsedMB > hw.TotalMB {
+		t.Fatalf("usage %g exceeded total %g", r.UsedMB, hw.TotalMB)
+	}
+	if r.UsedFrac > 1 {
+		t.Fatalf("used fraction %g > 1", r.UsedFrac)
+	}
+}
+
+func TestFootprintTotal(t *testing.T) {
+	f := Footprint{CPUHeapMB: 1, GPUMB: 2, MediaMB: 3}
+	if f.Total() != 6 {
+		t.Fatalf("total = %g", f.Total())
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := newModel()
+	for i := 0; i < 100; i++ {
+		m.Step(Footprint{CPUHeapMB: 500}, 0.1)
+	}
+	m.Reset()
+	if r := m.Step(Footprint{}, 0.1); r.WorkloadMB > 1 {
+		t.Fatalf("reset kept %g MB resident", r.WorkloadMB)
+	}
+}
+
+// --- storage ----------------------------------------------------------------
+
+func newStorage() *Storage { return NewStorage(soc.Snapdragon888HDK().Storage) }
+
+func TestStorageIdle(t *testing.T) {
+	s := newStorage()
+	r := s.Step(IODemand{}, 0.1)
+	if r.Util != 0 || r.BytesMoved != 0 || r.CPUDemand != 0 {
+		t.Fatalf("idle storage: %+v", r)
+	}
+}
+
+func TestStorageUtilClamped(t *testing.T) {
+	s := newStorage()
+	r := s.Step(IODemand{SeqReadMBs: 1e9, RandWriteIOPS: 1e12}, 0.1)
+	if r.Util != 1 {
+		t.Fatalf("overloaded storage util = %g, want 1", r.Util)
+	}
+}
+
+func TestStorageUtilIsMaxChannel(t *testing.T) {
+	s := newStorage()
+	hw := soc.Snapdragon888HDK().Storage
+	r := s.Step(IODemand{SeqReadMBs: hw.SeqReadMBs / 2, RandReadIOPS: hw.RandReadIOPS / 4}, 0.1)
+	if math.Abs(r.Util-0.5) > 0.01 {
+		t.Fatalf("util = %g, want 0.5 (busiest channel)", r.Util)
+	}
+}
+
+func TestStorageBytesMoved(t *testing.T) {
+	s := newStorage()
+	r := s.Step(IODemand{SeqReadMBs: 100}, 1.0)
+	if math.Abs(r.BytesMoved-100e6) > 1 {
+		t.Fatalf("bytes moved = %g, want 1e8", r.BytesMoved)
+	}
+	r2 := s.Step(IODemand{RandReadIOPS: 1000}, 1.0)
+	if math.Abs(r2.BytesMoved-1000*4096) > 1 {
+		t.Fatalf("random bytes = %g, want %d", r2.BytesMoved, 1000*4096)
+	}
+}
+
+func TestStorageBurnsCPU(t *testing.T) {
+	s := newStorage()
+	r := s.Step(IODemand{RandReadIOPS: 200000, DatabaseOpsPerSec: 30000}, 0.1)
+	if r.CPUDemand <= 0 {
+		t.Fatal("heavy IO produced no CPU demand")
+	}
+	light := s.Step(IODemand{SeqReadMBs: 10}, 0.1)
+	if light.CPUDemand >= r.CPUDemand {
+		t.Fatal("light IO should cost less CPU than heavy random IO")
+	}
+}

@@ -1,0 +1,68 @@
+package power
+
+import "fmt"
+
+// Battery estimates battery drain from the power model's output — the
+// user-facing quantity PCMark's battery-life test reports. The model is a
+// nominal-capacity energy budget with a conversion/regulator efficiency;
+// display power is accounted separately because the panel, not the SoC,
+// dominates many mobile scenarios.
+type Battery struct {
+	// CapacityWh is the battery's nominal energy (a 4500 mAh pack at
+	// 3.85 V is ~17.3 Wh).
+	CapacityWh float64
+	// Efficiency is the regulator/PMIC conversion efficiency (0..1].
+	Efficiency float64
+	// DisplayW is the panel's power draw while the screen is on.
+	DisplayW float64
+}
+
+// DefaultBattery returns a flagship-class 4500 mAh pack with a Full-HD
+// panel.
+func DefaultBattery() Battery {
+	return Battery{CapacityWh: 17.3, Efficiency: 0.9, DisplayW: 1.1}
+}
+
+// Validate checks the battery parameters.
+func (b Battery) Validate() error {
+	if b.CapacityWh <= 0 {
+		return fmt.Errorf("power: non-positive battery capacity")
+	}
+	if b.Efficiency <= 0 || b.Efficiency > 1 {
+		return fmt.Errorf("power: efficiency %g outside (0,1]", b.Efficiency)
+	}
+	if b.DisplayW < 0 {
+		return fmt.Errorf("power: negative display power")
+	}
+	return nil
+}
+
+// DrainPercent returns how much of the battery a workload consumes, given
+// the SoC energy it used and its runtime (for the display's share).
+func (b Battery) DrainPercent(socEnergyJ, runtimeSec float64) (float64, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if socEnergyJ < 0 || runtimeSec < 0 {
+		return 0, fmt.Errorf("power: negative energy or runtime")
+	}
+	totalJ := (socEnergyJ + b.DisplayW*runtimeSec) / b.Efficiency
+	capacityJ := b.CapacityWh * 3600
+	return totalJ / capacityJ * 100, nil
+}
+
+// RuntimeHours estimates how long the battery would sustain a workload
+// drawing the given average SoC power with the screen on.
+func (b Battery) RuntimeHours(avgSoCWatts float64) (float64, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if avgSoCWatts < 0 {
+		return 0, fmt.Errorf("power: negative power")
+	}
+	draw := (avgSoCWatts + b.DisplayW) / b.Efficiency
+	if draw == 0 {
+		return 0, fmt.Errorf("power: zero draw")
+	}
+	return b.CapacityWh / draw, nil
+}

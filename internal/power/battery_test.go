@@ -1,0 +1,64 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBatteryValidate(t *testing.T) {
+	if err := DefaultBattery().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Battery{
+		{CapacityWh: 0, Efficiency: 0.9},
+		{CapacityWh: 17, Efficiency: 0},
+		{CapacityWh: 17, Efficiency: 1.5},
+		{CapacityWh: 17, Efficiency: 0.9, DisplayW: -1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDrainPercent(t *testing.T) {
+	b := Battery{CapacityWh: 10, Efficiency: 1, DisplayW: 0}
+	// 3600 J = 1 Wh = 10% of a 10 Wh pack.
+	got, err := b.DrainPercent(3600, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-9 {
+		t.Fatalf("drain = %g%%, want 10%%", got)
+	}
+	// Display and efficiency raise the drain.
+	b = Battery{CapacityWh: 10, Efficiency: 0.5, DisplayW: 1}
+	got2, _ := b.DrainPercent(3600, 3600) // +1 Wh display, halved efficiency
+	if got2 <= got {
+		t.Fatal("losses should raise drain")
+	}
+	if _, err := b.DrainPercent(-1, 0); err == nil {
+		t.Fatal("negative energy accepted")
+	}
+}
+
+func TestRuntimeHours(t *testing.T) {
+	b := Battery{CapacityWh: 10, Efficiency: 1, DisplayW: 0}
+	h, err := b.RuntimeHours(2)
+	if err != nil || math.Abs(h-5) > 1e-9 {
+		t.Fatalf("runtime = %g h, err %v, want 5 h", h, err)
+	}
+	// A realistic gaming scenario: ~6 W SoC + panel on a flagship pack
+	// lands in the 2-3 hour range.
+	h, err = DefaultBattery().RuntimeHours(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 1.5 || h > 3.5 {
+		t.Fatalf("gaming battery life %g h implausible", h)
+	}
+	if _, err := DefaultBattery().RuntimeHours(-1); err == nil {
+		t.Fatal("negative power accepted")
+	}
+}

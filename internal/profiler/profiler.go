@@ -1,0 +1,189 @@
+// Package profiler collects named hardware-counter time series from the
+// simulator, playing the role Snapdragon Profiler plays in the paper:
+// a real-time view over ~190 metrics covering CPU cores, caches, branch
+// prediction, the GPU, the AIE, and system memory, with the idle-OS memory
+// baseline subtracted from process-specific figures.
+package profiler
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mobilebench/internal/trace"
+)
+
+// Well-known metric names used by the analysis layer (Table IV and the
+// Figure 1 aggregates).
+const (
+	MetricCPULoad     = "cpu.load"          // mean per-core frequency x utilization, 0..1
+	MetricGPULoad     = "gpu.load"          // GPU frequency x utilization, 0..1
+	MetricShadersBusy = "gpu.shaders_busy"  // fraction of time all shaders busy
+	MetricGPUBusBusy  = "gpu.bus_busy"      // GPU memory-bus busy fraction
+	MetricAIELoad     = "aie.load"          // AIE frequency x utilization, 0..1
+	MetricUsedMem     = "mem.used_frac"     // used system memory fraction
+	MetricIPC         = "cpu.ipc"           // instructions per busy cycle
+	MetricInstrRate   = "cpu.instr_rate"    // retired instructions per second
+	MetricCacheMPKI   = "cpu.cache_mpki"    // misses across all levels per kilo-instruction
+	MetricBranchMPKI  = "cpu.branch_mpki"   // branch mispredictions per kilo-instruction
+	MetricStorageUtil = "storage.util"      // storage utilization 0..1
+	MetricWorkloadMem = "mem.workload_frac" // baseline-corrected workload memory fraction
+)
+
+// ClusterLoadMetric returns the metric name of a cluster's load series
+// ("cpu.little.load" etc.).
+func ClusterLoadMetric(cluster string) string {
+	return "cpu." + strings.ToLower(strings.TrimPrefix(cluster, "CPU ")) + ".load"
+}
+
+// Profiler accumulates samples during a simulation run.
+type Profiler struct {
+	dt     float64
+	series map[string]*trace.Series
+	order  []string
+}
+
+// New creates a profiler sampling at interval dt seconds.
+func New(dt float64) *Profiler {
+	return &Profiler{dt: dt, series: make(map[string]*trace.Series)}
+}
+
+// DT returns the sampling interval.
+func (p *Profiler) DT() float64 { return p.dt }
+
+// Sample records value v for the metric at the current tick. All metrics
+// sampled in a tick must be sampled every tick to stay aligned; Trace
+// verifies alignment.
+func (p *Profiler) Sample(metric string, v float64) {
+	s, ok := p.series[metric]
+	if !ok {
+		s = trace.NewSeries(metric, p.dt)
+		p.series[metric] = s
+		p.order = append(p.order, metric)
+	}
+	s.Append(v)
+}
+
+// Trace freezes the profiler into a Trace, verifying that all series have
+// the same length.
+func (p *Profiler) Trace() (*Trace, error) {
+	n := -1
+	for _, name := range p.order {
+		l := p.series[name].Len()
+		if n == -1 {
+			n = l
+		} else if l != n {
+			return nil, fmt.Errorf("profiler: series %q has %d samples, want %d", name, l, n)
+		}
+	}
+	t := &Trace{DT: p.dt, Samples: n, series: p.series, order: append([]string(nil), p.order...)}
+	return t, nil
+}
+
+// Trace is an immutable collection of aligned metric series for one run.
+type Trace struct {
+	// DT is the sampling interval in seconds.
+	DT float64
+	// Samples is the common series length.
+	Samples int
+
+	series map[string]*trace.Series
+	order  []string
+}
+
+// Duration returns the covered wall-clock time.
+func (t *Trace) Duration() float64 { return float64(t.Samples) * t.DT }
+
+// Series returns the named metric series, or nil when absent.
+func (t *Trace) Series(name string) *trace.Series { return t.series[name] }
+
+// MustSeries returns the named series or panics; for metrics the simulator
+// always emits.
+func (t *Trace) MustSeries(name string) *trace.Series {
+	s := t.series[name]
+	if s == nil {
+		panic(fmt.Sprintf("profiler: missing metric %q", name))
+	}
+	return s
+}
+
+// Metrics returns metric names in first-sampled order.
+func (t *Trace) Metrics() []string { return append([]string(nil), t.order...) }
+
+// NumMetrics returns how many metrics the trace carries.
+func (t *Trace) NumMetrics() int { return len(t.order) }
+
+// MeanTraces averages runs sample-by-sample (the paper averages three runs
+// per benchmark). Runs may differ slightly in length due to run-to-run
+// jitter; each series is resampled to the shortest run's length first.
+func MeanTraces(runs []*Trace) (*Trace, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("profiler: MeanTraces of nothing")
+	}
+	minLen := runs[0].Samples
+	for _, r := range runs[1:] {
+		if r.Samples < minLen {
+			minLen = r.Samples
+		}
+	}
+	if minLen == 0 {
+		return nil, fmt.Errorf("profiler: empty trace")
+	}
+	out := &Trace{DT: runs[0].DT, Samples: minLen, series: make(map[string]*trace.Series)}
+	for _, name := range runs[0].order {
+		var rs []*trace.Series
+		for _, r := range runs {
+			s := r.Series(name)
+			if s == nil {
+				return nil, fmt.Errorf("profiler: run missing metric %q", name)
+			}
+			rs = append(rs, resampleToLen(s, minLen, runs[0].DT))
+		}
+		m, err := trace.MeanSeries(name, rs)
+		if err != nil {
+			return nil, err
+		}
+		out.series[name] = m
+		out.order = append(out.order, name)
+	}
+	return out, nil
+}
+
+func resampleToLen(s *trace.Series, n int, dt float64) *trace.Series {
+	if s.Len() == n {
+		c := s.Clone()
+		c.DT = dt
+		return c
+	}
+	r := s.Resample(n)
+	r.DT = dt
+	return r
+}
+
+// WriteCSV writes the trace as CSV with a time column followed by one column
+// per metric, in first-sampled order.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cols := t.Metrics()
+	if _, err := fmt.Fprintf(w, "time_s,%s\n", strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < t.Samples; i++ {
+		row := make([]string, 0, len(cols)+1)
+		row = append(row, fmt.Sprintf("%.3f", (float64(i)+0.5)*t.DT))
+		for _, c := range cols {
+			row = append(row, fmt.Sprintf("%.6g", t.series[c].Values[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortedMetrics returns metric names sorted lexically (stable for tests).
+func (t *Trace) SortedMetrics() []string {
+	out := t.Metrics()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,261 @@
+// Package roi selects representative regions of interest from a benchmark's
+// counter trace, in the spirit of SimPoint-style interval sampling.
+//
+// Section VI of the paper motivates subsetting precisely because commercial
+// benchmarks cannot be trimmed: they are closed-source, and "choosing a
+// Region of Interest poses challenges, given ... these benchmarks can
+// encompass various types of workloads". This package addresses that
+// challenge on the simulator side: it cuts a run into fixed-length windows,
+// clusters the windows by behaviour (the same counter vectors the paper's
+// similarity analysis uses), and returns one representative interval per
+// behaviour with a weight — so a simulator user can replay a fraction of a
+// benchmark and reconstruct its whole-run averages.
+package roi
+
+import (
+	"fmt"
+	"math"
+
+	"mobilebench/internal/cluster"
+	"mobilebench/internal/profiler"
+	"mobilebench/internal/stats"
+)
+
+// Options configures the analysis.
+type Options struct {
+	// WindowSec is the interval length (default 5 s).
+	WindowSec float64
+	// MaxK bounds the number of representative intervals (default 6).
+	MaxK int
+	// Metrics are the counter names used as behaviour features (default:
+	// the paper's six Table IV metrics plus IPC).
+	Metrics []string
+}
+
+// DefaultMetrics returns the behaviour features used when none are given.
+func DefaultMetrics() []string {
+	return []string{
+		profiler.MetricCPULoad,
+		profiler.MetricGPULoad,
+		profiler.MetricShadersBusy,
+		profiler.MetricGPUBusBusy,
+		profiler.MetricAIELoad,
+		profiler.MetricUsedMem,
+		profiler.MetricIPC,
+	}
+}
+
+// Interval is one selected region of interest.
+type Interval struct {
+	// StartSec, EndSec bound the interval in run time.
+	StartSec, EndSec float64
+	// Weight is the fraction of the run this interval represents.
+	Weight float64
+	// Phase is the behaviour cluster the interval represents.
+	Phase int
+}
+
+// Selection is the result of an ROI analysis.
+type Selection struct {
+	// Intervals are the representatives, one per behaviour phase, in
+	// ascending start time.
+	Intervals []Interval
+	// Windows is how many fixed-length windows the run was cut into.
+	Windows int
+	// WindowSec is the window length used.
+	WindowSec float64
+	// Coverage is the selected fraction of the run
+	// (len(Intervals)/Windows).
+	Coverage float64
+
+	metrics  []string
+	repMeans map[string][]float64 // metric -> per-interval window means
+	trueMean map[string]float64
+}
+
+// Analyze selects representative intervals from the trace.
+func Analyze(tr *profiler.Trace, opts Options) (*Selection, error) {
+	if tr == nil || tr.Samples == 0 {
+		return nil, fmt.Errorf("roi: empty trace")
+	}
+	windowSec := opts.WindowSec
+	if windowSec <= 0 {
+		windowSec = 5
+	}
+	maxK := opts.MaxK
+	if maxK <= 0 {
+		maxK = 6
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = DefaultMetrics()
+	}
+	for _, m := range metrics {
+		if tr.Series(m) == nil {
+			return nil, fmt.Errorf("roi: trace lacks metric %q", m)
+		}
+	}
+
+	perWindow := int(windowSec / tr.DT)
+	if perWindow < 1 {
+		perWindow = 1
+	}
+	windows := tr.Samples / perWindow
+	if windows < 2 {
+		return nil, fmt.Errorf("roi: window %gs leaves %d windows; shorten the window", windowSec, windows)
+	}
+
+	// Per-window behaviour vectors.
+	rows := make([][]float64, windows)
+	for w := 0; w < windows; w++ {
+		rows[w] = make([]float64, len(metrics))
+	}
+	for j, m := range metrics {
+		vals := tr.Series(m).Values
+		for w := 0; w < windows; w++ {
+			sum := 0.0
+			for i := w * perWindow; i < (w+1)*perWindow; i++ {
+				sum += vals[i]
+			}
+			rows[w][j] = sum / float64(perWindow)
+		}
+	}
+	norm := stats.NormalizeColumnsMinMax(rows)
+
+	// Pick k by silhouette over 2..maxK (or 1 if everything is uniform).
+	if maxK > windows {
+		maxK = windows
+	}
+	km := cluster.NewKMeans()
+	bestK, bestSil := 1, math.Inf(-1)
+	var bestAssign cluster.Assignment
+	for k := 2; k <= maxK; k++ {
+		assign, err := km.Cluster(norm, k)
+		if err != nil {
+			return nil, err
+		}
+		if sil := cluster.Silhouette(norm, assign); sil > bestSil {
+			bestK, bestSil, bestAssign = k, sil, assign
+		}
+	}
+	if bestAssign == nil {
+		bestAssign = make(cluster.Assignment, windows)
+		bestK = 1
+	}
+
+	// Representative per cluster: the window closest to its centroid.
+	sel := &Selection{
+		Windows:   windows,
+		WindowSec: float64(perWindow) * tr.DT,
+		metrics:   metrics,
+		repMeans:  make(map[string][]float64),
+		trueMean:  make(map[string]float64),
+	}
+	for c := 0; c < bestK; c++ {
+		members := bestAssign.Members(c)
+		if len(members) == 0 {
+			continue
+		}
+		cen := make([]float64, len(metrics))
+		for _, w := range members {
+			for j, v := range norm[w] {
+				cen[j] += v
+			}
+		}
+		for j := range cen {
+			cen[j] /= float64(len(members))
+		}
+		best, bestD := members[0], math.Inf(1)
+		for _, w := range members {
+			if d := stats.Euclidean(norm[w], cen); d < bestD {
+				best, bestD = w, d
+			}
+		}
+		sel.Intervals = append(sel.Intervals, Interval{
+			StartSec: float64(best*perWindow) * tr.DT,
+			EndSec:   float64((best+1)*perWindow) * tr.DT,
+			Weight:   float64(len(members)) / float64(windows),
+			Phase:    c,
+		})
+		for j, m := range metrics {
+			sel.repMeans[m] = append(sel.repMeans[m], rows[best][j])
+		}
+	}
+	sortIntervals(sel.Intervals, sel.repMeans, metrics)
+	sel.Coverage = float64(len(sel.Intervals)) / float64(windows)
+	for j, m := range metrics {
+		sum := 0.0
+		for w := 0; w < windows; w++ {
+			sum += rows[w][j]
+		}
+		sel.trueMean[m] = sum / float64(windows)
+		_ = j
+	}
+	return sel, nil
+}
+
+// sortIntervals orders intervals by start time, keeping repMeans aligned.
+func sortIntervals(in []Interval, repMeans map[string][]float64, metrics []string) {
+	for i := 1; i < len(in); i++ {
+		for j := i; j > 0 && in[j].StartSec < in[j-1].StartSec; j-- {
+			in[j], in[j-1] = in[j-1], in[j]
+			for _, m := range metrics {
+				repMeans[m][j], repMeans[m][j-1] = repMeans[m][j-1], repMeans[m][j]
+			}
+		}
+	}
+}
+
+// EstimateMean reconstructs the whole-run mean of a metric from the
+// weighted representatives.
+func (s *Selection) EstimateMean(metric string) (float64, error) {
+	means, ok := s.repMeans[metric]
+	if !ok {
+		return 0, fmt.Errorf("roi: metric %q was not analyzed", metric)
+	}
+	est := 0.0
+	for i, iv := range s.Intervals {
+		est += iv.Weight * means[i]
+	}
+	return est, nil
+}
+
+// TrueMean returns the metric's actual whole-run mean (over the analyzed
+// windows).
+func (s *Selection) TrueMean(metric string) (float64, error) {
+	v, ok := s.trueMean[metric]
+	if !ok {
+		return 0, fmt.Errorf("roi: metric %q was not analyzed", metric)
+	}
+	return v, nil
+}
+
+// ReconstructionError returns the mean absolute relative error of the
+// weighted-representative estimate across all analyzed metrics (metrics
+// whose true mean is ~0 are compared absolutely).
+func (s *Selection) ReconstructionError() float64 {
+	if len(s.metrics) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, m := range s.metrics {
+		est, _ := s.EstimateMean(m)
+		truth := s.trueMean[m]
+		if math.Abs(truth) < 1e-6 {
+			total += math.Abs(est - truth)
+			continue
+		}
+		total += math.Abs(est-truth) / math.Abs(truth)
+	}
+	return total / float64(len(s.metrics))
+}
+
+// SimulatedSeconds returns how much run time the representatives cover —
+// the simulation budget needed to replay them.
+func (s *Selection) SimulatedSeconds() float64 {
+	t := 0.0
+	for _, iv := range s.Intervals {
+		t += iv.EndSec - iv.StartSec
+	}
+	return t
+}

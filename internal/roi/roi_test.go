@@ -1,0 +1,160 @@
+package roi
+
+import (
+	"math"
+	"testing"
+
+	"mobilebench/internal/cpu"
+	"mobilebench/internal/profiler"
+	"mobilebench/internal/sim"
+	"mobilebench/internal/workload"
+)
+
+// phasedWorkload alternates a light phase and a heavy multi-core phase —
+// two clearly distinct behaviours an ROI analysis must find.
+func phasedWorkload() workload.Workload {
+	light := workload.Phase{
+		Name:     "light",
+		Duration: 20,
+		CPU: workload.CPUPhase{
+			Tasks:       []workload.TaskSpec{{Count: 2, Demand: 0.08}},
+			Mix:         cpu.InstrMix{LoadStoreFrac: 0.3, BranchFrac: 0.1, BaseILP: 1.5},
+			ComputeDuty: 0.3,
+		},
+	}
+	heavy := workload.Phase{
+		Name:     "heavy",
+		Duration: 20,
+		CPU: workload.CPUPhase{
+			Tasks:       []workload.TaskSpec{{Count: 8, Demand: 0.85}},
+			Mix:         cpu.InstrMix{LoadStoreFrac: 0.3, BranchFrac: 0.1, BaseILP: 2.2},
+			ComputeDuty: 0.5,
+		},
+	}
+	return workload.Workload{
+		Name: "phased", Suite: "test", Target: workload.TargetCPU,
+		Phases: []workload.Phase{light, heavy, light, heavy},
+	}
+}
+
+func phasedTrace(t *testing.T) *profiler.Trace {
+	t.Helper()
+	eng := sim.MustNew(sim.Config{})
+	res, err := eng.Run(phasedWorkload(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Trace
+}
+
+func TestAnalyzeFindsBothPhases(t *testing.T) {
+	sel, err := Analyze(phasedTrace(t), Options{WindowSec: 5, MaxK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Intervals) < 2 {
+		t.Fatalf("found %d intervals; the workload has 2 distinct behaviours", len(sel.Intervals))
+	}
+	// Weights are a distribution.
+	sum := 0.0
+	for _, iv := range sel.Intervals {
+		if iv.Weight <= 0 || iv.Weight > 1 {
+			t.Fatalf("bad weight %g", iv.Weight)
+		}
+		if iv.EndSec <= iv.StartSec {
+			t.Fatalf("degenerate interval %+v", iv)
+		}
+		sum += iv.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %g", sum)
+	}
+	// Intervals sorted by start.
+	for i := 1; i < len(sel.Intervals); i++ {
+		if sel.Intervals[i].StartSec < sel.Intervals[i-1].StartSec {
+			t.Fatal("intervals not sorted")
+		}
+	}
+}
+
+func TestReconstructionAccuracy(t *testing.T) {
+	sel, err := Analyze(phasedTrace(t), Options{WindowSec: 5, MaxK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the representatives must reconstruct whole-run means well.
+	if e := sel.ReconstructionError(); e > 0.15 {
+		t.Fatalf("reconstruction error %.1f%%, want under 15%%", e*100)
+	}
+	est, err := sel.EstimateMean(profiler.MetricCPULoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := sel.TrueMean(profiler.MetricCPULoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth <= 0 {
+		t.Fatal("degenerate true mean")
+	}
+	if math.Abs(est-truth)/truth > 0.2 {
+		t.Fatalf("CPU load estimate %.3f vs true %.3f", est, truth)
+	}
+}
+
+func TestCoverageReduction(t *testing.T) {
+	sel, err := Analyze(phasedTrace(t), Options{WindowSec: 5, MaxK: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Coverage >= 0.75 {
+		t.Fatalf("ROI selection covers %.0f%% of the run; the point is to shrink it", sel.Coverage*100)
+	}
+	if sel.SimulatedSeconds() >= 80*0.75 {
+		t.Fatalf("simulated seconds %.1f not a real reduction", sel.SimulatedSeconds())
+	}
+}
+
+func TestAnalyzeOnRealBenchmark(t *testing.T) {
+	eng := sim.MustNew(sim.Config{})
+	res, err := eng.Run(workload.GB5CPU(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Analyze(res.Trace, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Intervals) < 2 {
+		t.Fatal("Geekbench has distinct single/multi-core behaviours")
+	}
+	if e := sel.ReconstructionError(); e > 0.25 {
+		t.Fatalf("reconstruction error %.1f%% on Geekbench 5 CPU", e*100)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, Options{}); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	tr := phasedTrace(t)
+	if _, err := Analyze(tr, Options{WindowSec: 1e9}); err == nil {
+		t.Fatal("window longer than the run accepted")
+	}
+	if _, err := Analyze(tr, Options{Metrics: []string{"nope"}}); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+func TestEstimateUnknownMetric(t *testing.T) {
+	sel, err := Analyze(phasedTrace(t), Options{WindowSec: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sel.EstimateMean("nope"); err == nil {
+		t.Fatal("unknown metric estimate accepted")
+	}
+	if _, err := sel.TrueMean("nope"); err == nil {
+		t.Fatal("unknown metric true-mean accepted")
+	}
+}

@@ -1,0 +1,755 @@
+// Package sim is the tick-based SoC simulation engine.
+//
+// The engine executes a workload (a phase timeline) against the platform
+// models: each tick it places the phase's thread demands with the EAS
+// scheduler, lets the DVFS governors pick cluster frequencies, drives
+// sampled memory and branch streams through the cache hierarchy and branch
+// predictor to obtain miss profiles, converts those into achieved IPC with
+// the CPU performance model, steps the GPU, AIE, memory and storage models,
+// and emits every counter into the profiler. Cross-component couplings the
+// paper highlights are explicit: GPU bus pressure inflates CPU memory stall
+// time (low IPC in graphics benchmarks), unsupported codecs bounce work from
+// the AIE back to the CPU, and storage IO burns CPU submission time.
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"mobilebench/internal/aie"
+	"mobilebench/internal/branch"
+	"mobilebench/internal/cache"
+	"mobilebench/internal/cpu"
+	"mobilebench/internal/gpu"
+	"mobilebench/internal/mem"
+	"mobilebench/internal/power"
+	"mobilebench/internal/profiler"
+	"mobilebench/internal/sched"
+	"mobilebench/internal/soc"
+	"mobilebench/internal/thermal"
+	"mobilebench/internal/workload"
+	"mobilebench/internal/xrand"
+)
+
+// Config parameterizes the engine.
+type Config struct {
+	// Platform is the hardware description; nil selects the Snapdragon
+	// 888 HDK.
+	Platform *soc.Platform
+	// TickSec is the simulation step and profiler sampling interval.
+	TickSec float64
+	// CacheSamples is how many memory accesses are sampled per cluster per
+	// miss-profile refresh.
+	CacheSamples int
+	// BranchSamples is how many branches are sampled per cluster per
+	// refresh.
+	BranchSamples int
+	// RefreshTicks is how often (in ticks) the sampled miss profiles are
+	// refreshed within a phase; profiles are always refreshed on phase
+	// change.
+	RefreshTicks int
+	// Seed is the root seed; every (workload, run) pair derives an
+	// independent stream from it.
+	Seed uint64
+	// RuntimeJitterRel is the relative sigma of per-run duration jitter.
+	RuntimeJitterRel float64
+	// NoiseRel is the relative sigma of per-tick demand noise.
+	NoiseRel float64
+	// EnableThermalThrottle couples the thermal model back into DVFS:
+	// when a node trips, its frequency is capped until it cools. Off by
+	// default — the paper's development board (no battery, no casing)
+	// did not throttle, and the calibration assumes it does not.
+	EnableThermalThrottle bool
+	// Governor selects the CPU DVFS governor: "schedutil" (default),
+	// "performance" or "powersave". Useful for governor ablation studies;
+	// the calibration assumes schedutil.
+	Governor string
+}
+
+// DefaultConfig returns the configuration used throughout the repository.
+func DefaultConfig() Config {
+	return Config{
+		Platform:         soc.Snapdragon888HDK(),
+		TickSec:          0.1,
+		CacheSamples:     1500,
+		BranchSamples:    2000,
+		RefreshTicks:     5,
+		Seed:             888,
+		RuntimeJitterRel: 0.01,
+		NoiseRel:         0.03,
+	}
+}
+
+// normalize fills zero fields with defaults.
+func (c Config) normalize() Config {
+	d := DefaultConfig()
+	if c.Platform == nil {
+		c.Platform = d.Platform
+	}
+	if c.TickSec <= 0 {
+		c.TickSec = d.TickSec
+	}
+	if c.CacheSamples <= 0 {
+		c.CacheSamples = d.CacheSamples
+	}
+	if c.BranchSamples <= 0 {
+		c.BranchSamples = d.BranchSamples
+	}
+	if c.RefreshTicks <= 0 {
+		c.RefreshTicks = d.RefreshTicks
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.RuntimeJitterRel == 0 {
+		c.RuntimeJitterRel = d.RuntimeJitterRel
+	}
+	if c.NoiseRel == 0 {
+		c.NoiseRel = d.NoiseRel
+	}
+	return c
+}
+
+// Engine executes workloads.
+type Engine struct {
+	cfg  Config
+	plat *soc.Platform
+}
+
+// New creates an engine. A zero Config selects defaults.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.normalize()
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, plat: cfg.Platform}, nil
+}
+
+// MustNew is New with a panic on error.
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Platform returns the simulated platform.
+func (e *Engine) Platform() *soc.Platform { return e.plat }
+
+// Config returns the normalized configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Aggregates are whole-run summary metrics (the Figure 1 quantities plus
+// the Table IV load averages used for clustering and subsetting).
+type Aggregates struct {
+	Name       string
+	RuntimeSec float64
+	// InstrCount is the dynamic instruction count (process-scoped).
+	InstrCount float64
+	// IPC is instructions per busy cycle, weighted over the run.
+	IPC float64
+	// CacheMPKI counts misses across all cache levels per kilo-instruction.
+	CacheMPKI float64
+	// BranchMPKI counts mispredictions per kilo-instruction.
+	BranchMPKI float64
+
+	AvgCPULoad     float64
+	AvgGPULoad     float64
+	AvgShadersBusy float64
+	AvgGPUBusBusy  float64
+	AvgAIELoad     float64
+	AvgUsedMemFrac float64
+	AvgUsedMemMB   float64
+	PeakUsedMemMB  float64
+	// ClusterLoad is the mean load per CPU cluster (Little, Mid, Big).
+	ClusterLoad [soc.NumClusters]float64
+
+	// AvgPowerW and EnergyJ come from the power model — the repository's
+	// beyond-the-paper extension (the paper lists power as a limitation).
+	AvgPowerW float64
+	EnergyJ   float64
+	// PeakCPUTempC is the hottest CPU-node reading of the run.
+	PeakCPUTempC float64
+}
+
+// Result is one run of one workload.
+type Result struct {
+	Workload string
+	Trace    *profiler.Trace
+	Agg      Aggregates
+}
+
+type clusterState struct {
+	kind     soc.ClusterKind
+	cl       soc.CPUCluster
+	freqHz   float64
+	gov      cpu.Governor
+	pen      cpu.Penalties
+	hier     *cache.Hierarchy
+	pred     branch.Predictor
+	stream   *cache.StreamGen
+	branches *branch.Stream
+	miss     cpu.MissProfile
+	phaseIdx int
+}
+
+// Run executes one run of the workload. run indexes the repetition (the
+// paper runs each benchmark three times); distinct runs get independent
+// random streams and jitter.
+func (e *Engine) Run(w workload.Workload, run int) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := e.cfg
+	rng := xrand.New(cfg.Seed).Split(hashName(w.Name)).Split(uint64(run) + 1)
+
+	// Jitter phase durations for this run.
+	phases := make([]workload.Phase, len(w.Phases))
+	copy(phases, w.Phases)
+	for i := range phases {
+		phases[i].Duration = rng.Jitter(phases[i].Duration, cfg.RuntimeJitterRel)
+	}
+	jw := workload.Workload{Name: w.Name, Suite: w.Suite, Target: w.Target, Phases: phases}
+
+	// Shared cache levels.
+	l3 := cache.MustNew(e.plat.L3)
+	slc := cache.MustNew(e.plat.SLC)
+
+	clusters := make([]*clusterState, 0, int(soc.NumClusters))
+	for _, k := range soc.Clusters() {
+		cl := e.plat.Clusters[k]
+		if cl.NumCores == 0 {
+			// Platforms may omit a cluster (mid-range SoCs have no prime
+			// core); absent clusters emit no counters.
+			continue
+		}
+		h, err := cache.NewHierarchy(cl, l3, slc)
+		if err != nil {
+			return nil, err
+		}
+		gov, err := governorByName(cfg.Governor)
+		if err != nil {
+			return nil, err
+		}
+		clusters = append(clusters, &clusterState{
+			kind:     k,
+			cl:       cl,
+			freqHz:   cl.MinFreqHz,
+			gov:      gov,
+			pen:      cpu.DefaultPenalties(cl),
+			hier:     h,
+			pred:     branch.NewTournament(14, 14),
+			phaseIdx: -1,
+		})
+	}
+
+	scheduler := sched.NewEAS(e.plat)
+	powerModel := power.NewModel(power.DefaultCoefficients())
+	thermalModel := thermal.NewModel(thermal.DefaultConfig())
+	gpuModel := gpu.NewModel(e.plat.GPU, e.plat.Display, rng.Split(0x91))
+	aieModel := aie.NewModel(e.plat.AIE)
+	memModel := mem.NewModel(e.plat.Memory)
+	ioModel := mem.NewStorage(e.plat.Storage)
+	prof := profiler.New(cfg.TickSec)
+
+	duration := jw.Duration()
+	ticks := int(duration / cfg.TickSec)
+	if ticks < 1 {
+		ticks = 1
+	}
+
+	var (
+		totInstr, totCycles         float64
+		totCacheMiss, totBranchMiss float64
+		prevGPU                     gpu.Result
+		prevAIE                     aie.Result
+		prevIO                      mem.IOResult
+		agg                         Aggregates
+		slcPollute                  *cache.StreamGen
+		slcPolluteIdx               = -1
+	)
+	agg.Name = w.Name
+
+	for tick := 0; tick < ticks; tick++ {
+		t := (float64(tick) + 0.5) * cfg.TickSec
+		phase, _ := jw.PhaseAt(t)
+		phaseIdx := phaseIndexAt(jw, t)
+
+		// Build the tick's task set: workload threads plus demand bounced
+		// back from the AIE (unsupported codecs) and the storage stack.
+		var tasks []sched.Task
+		for _, ts := range phase.CPU.Tasks {
+			for i := 0; i < ts.Count; i++ {
+				d := rng.Jitter(ts.Demand, cfg.NoiseRel)
+				tasks = append(tasks, sched.Task{Demand: d, Affinity: ts.Affinity})
+			}
+		}
+		if prevAIE.CPUFallbackDemand > 0 {
+			tasks = append(tasks, splitDemand(prevAIE.CPUFallbackDemand)...)
+		}
+		if prevIO.CPUDemand > 0 {
+			tasks = append(tasks, splitDemand(prevIO.CPUDemand)...)
+		}
+		placement := scheduler.Place(tasks)
+
+		contention := cpu.Contention{
+			GPUBusLoad:       prevGPU.BusBusy,
+			MemBandwidthLoad: 0.5 * prevGPU.BusBusy,
+		}
+
+		tickInstr, tickCycles := 0.0, 0.0
+		cpuLoadSum := 0.0
+		cpuDRAMBytes := 0.0
+		var powerIn power.Input
+		for _, cs := range clusters {
+			load := placement.Clusters[cs.kind]
+
+			// DVFS from the utilization seen this tick.
+			cs.freqHz = cs.gov.Next(cs.cl, cs.freqHz, load.Util)
+
+			// Realized utilization grows when the governor runs the
+			// cluster below peak frequency: the same work occupies more
+			// of each second.
+			util := load.Util
+			if cs.freqHz > 0 {
+				util = load.Util * cs.cl.MaxFreqHz / cs.freqHz
+			}
+			if util > 1 {
+				util = 1
+			}
+
+			clusterLoad := util * cs.freqHz / cs.cl.MaxFreqHz
+			agg.ClusterLoad[cs.kind] += clusterLoad
+			cpuLoadSum += clusterLoad * float64(cs.cl.NumCores)
+
+			active := util > 1e-4
+			if active && (cs.phaseIdx != phaseIdx || tick%cfg.RefreshTicks == 0) {
+				if cs.phaseIdx != phaseIdx {
+					cs.stream = cache.NewStreamGen(phase.CPU.Access,
+						uint64(cs.kind)+1, rng.Split(uint64(phaseIdx)*16+uint64(cs.kind)))
+					cs.branches = branch.NewStream(phase.CPU.Branches,
+						rng.Split(uint64(phaseIdx)*64+uint64(cs.kind)+7))
+					cs.phaseIdx = phaseIdx
+				}
+				cs.miss = e.sampleMissProfile(cs, phase.CPU, rng)
+			}
+			if !active {
+				continue
+			}
+
+			ipc := cpu.IPC(cs.cl, phase.CPU.Mix, cs.miss, cs.pen, contention)
+			duty := phase.CPU.ComputeDuty
+			cores := float64(cs.cl.NumCores)
+			cyc := util * cs.freqHz * cores * cfg.TickSec * duty
+			ins := cyc * ipc
+			tickInstr += ins
+			tickCycles += cyc
+
+			cacheMiss := 0.0
+			for _, mpi := range cs.miss.MissesPerInstr {
+				cacheMiss += mpi
+			}
+			totCacheMiss += cacheMiss * ins
+			totBranchMiss += cs.miss.BranchMissPerInstr * ins
+			cpuDRAMBytes += cs.miss.MissesPerInstr[3] * ins * 64
+
+			prof.Sample(clusterMetric(cs.kind, "ipc"), ipc)
+			prof.Sample(clusterMetric(cs.kind, "cache_mpki"), cacheMiss*1000)
+			prof.Sample(clusterMetric(cs.kind, "branch_mpki"), cs.miss.BranchMissPerInstr*1000)
+		}
+		// Clusters that were idle this tick still need aligned samples.
+		for _, cs := range clusters {
+			load := placement.Clusters[cs.kind]
+			util := load.Util
+			if cs.freqHz > 0 {
+				util = load.Util * cs.cl.MaxFreqHz / cs.freqHz
+			}
+			if util > 1 {
+				util = 1
+			}
+			if util <= 1e-4 {
+				prof.Sample(clusterMetric(cs.kind, "ipc"), 0)
+				prof.Sample(clusterMetric(cs.kind, "cache_mpki"), 0)
+				prof.Sample(clusterMetric(cs.kind, "branch_mpki"), 0)
+			}
+			powerIn.Clusters[cs.kind] = power.ClusterInput{
+				FreqHz:    cs.freqHz,
+				Util:      util,
+				MaxFreqHz: cs.cl.MaxFreqHz,
+				Cores:     cs.cl.NumCores,
+			}
+			prof.Sample(clusterMetric(cs.kind, "util"), util)
+			prof.Sample(clusterMetric(cs.kind, "freq_mhz"), cs.freqHz/1e6)
+			prof.Sample(clusterMetric(cs.kind, "load"), util*cs.freqHz/cs.cl.MaxFreqHz)
+			prof.Sample(clusterMetric(cs.kind, "active_cores"), float64(load.ActiveCores))
+			prof.Sample(clusterMetric(cs.kind, "overflow"), load.Overflow)
+			// Per-core views: cores within a cluster behave near
+			// identically (the paper averages them for the same reason).
+			ipcNow := 0.0
+			cacheSum := 0.0
+			for _, mpi := range cs.miss.MissesPerInstr {
+				cacheSum += mpi
+			}
+			if util > 1e-4 {
+				ipcNow = cpu.IPC(cs.cl, phase.CPU.Mix, cs.miss, cs.pen, contention)
+			}
+			for c := 0; c < cs.cl.NumCores; c++ {
+				prof.Sample(coreMetric(cs.kind, c, "load"), util*cs.freqHz/cs.cl.MaxFreqHz)
+				prof.Sample(coreMetric(cs.kind, c, "util"), util)
+				prof.Sample(coreMetric(cs.kind, c, "freq_mhz"), cs.freqHz/1e6)
+				prof.Sample(coreMetric(cs.kind, c, "ipc"), ipcNow)
+				prof.Sample(coreMetric(cs.kind, c, "cache_mpki"), cacheSum*1000)
+				prof.Sample(coreMetric(cs.kind, c, "branch_mpki"), cs.miss.BranchMissPerInstr*1000)
+				for i, lvl := range []string{"l1d", "l2", "l3", "slc"} {
+					prof.Sample(coreMetric(cs.kind, c, lvl+"_miss_per_instr"), cs.miss.MissesPerInstr[i])
+				}
+			}
+			for i, lvl := range []string{"l1d", "l2", "l3", "slc"} {
+				prof.Sample(clusterMetric(cs.kind, lvl+"_miss_per_instr"), cs.miss.MissesPerInstr[i])
+			}
+			// DVFS residency: fraction of this tick at the top operating
+			// point (1 when pinned at max frequency).
+			top := 0.0
+			if cs.freqHz >= cs.cl.MaxFreqHz-1 {
+				top = 1
+			}
+			prof.Sample(clusterMetric(cs.kind, "top_opp_frac"), top)
+		}
+
+		totInstr += tickInstr
+		totCycles += tickCycles
+
+		gpuRes := gpuModel.Step(phase.GPU, cfg.TickSec)
+		// GPU texture traffic flows through the SoC-wide system-level
+		// cache, displacing CPU lines; this is the mechanism behind the
+		// depressed IPC of graphics-heavy benchmarks (Section V-A).
+		if phase.GPU.TextureWorkingSetMB > 0 && gpuRes.BusBusy > 0 {
+			if slcPollute == nil || slcPolluteIdx != phaseIdx {
+				slcPollute = cache.NewStreamGen(cache.AccessPattern{
+					WorkingSetBytes: uint64(phase.GPU.TextureWorkingSetMB * 1024 * 1024),
+					SequentialFrac:  0.6,
+					ReuseSkew:       0.4,
+				}, 23, rng.Split(uint64(phaseIdx)*131+5))
+				slcPolluteIdx = phaseIdx
+			}
+			slcPollute.Pollute(slc, int(gpuRes.BusBusy*float64(cfg.CacheSamples)*0.5))
+		}
+		aieRes := aieModel.Step(phase.AIE, cfg.TickSec)
+		footprint := phase.Mem
+		footprint.GPUMB += phase.GPU.TextureWorkingSetMB
+		memRes := memModel.Step(footprint, cfg.TickSec)
+		ioRes := ioModel.Step(phase.IO, cfg.TickSec)
+
+		prevGPU, prevAIE, prevIO = gpuRes, aieRes, ioRes
+
+		// Power and thermal extensions: observational counters by default,
+		// with optional throttle feedback into the next tick's DVFS.
+		powerIn.GPULoad = gpuRes.Load
+		powerIn.AIELoad = aieRes.Load
+		powerIn.DRAMBytes = gpuRes.BytesMoved + cpuDRAMBytes
+		powerIn.StorageUtil = ioRes.Util
+		powerIn.DTSec = cfg.TickSec
+		pw := powerModel.Step(powerIn)
+		var heat [thermal.NumNodes]float64
+		heat[thermal.NodeCPU] = pw.CPUW()
+		heat[thermal.NodeGPU] = pw.GPU
+		heat[thermal.NodeSoC] = pw.AIE + pw.DRAM + pw.Storage + pw.Base
+		th := thermalModel.Step(heat, cfg.TickSec)
+		if cfg.EnableThermalThrottle {
+			capCPU := thermalModel.FreqCapFactor(thermal.NodeCPU)
+			for _, cs := range clusters {
+				if max := cs.cl.MaxFreqHz * capCPU; cs.freqHz > max {
+					cs.freqHz = max
+				}
+			}
+		}
+		if th.NodeC[thermal.NodeCPU] > agg.PeakCPUTempC {
+			agg.PeakCPUTempC = th.NodeC[thermal.NodeCPU]
+		}
+
+		cpuLoad := cpuLoadSum / float64(e.plat.TotalCores())
+		prof.Sample(profiler.MetricCPULoad, cpuLoad)
+		prof.Sample(profiler.MetricGPULoad, gpuRes.Load)
+		prof.Sample(profiler.MetricShadersBusy, gpuRes.ShadersBusy)
+		prof.Sample(profiler.MetricGPUBusBusy, gpuRes.BusBusy)
+		prof.Sample(profiler.MetricAIELoad, aieRes.Load)
+		prof.Sample(profiler.MetricUsedMem, memRes.UsedFrac)
+		prof.Sample(profiler.MetricWorkloadMem, memRes.WorkloadFrac)
+		prof.Sample(profiler.MetricStorageUtil, ioRes.Util)
+		prof.Sample("mem.used_mb", memRes.UsedMB)
+		prof.Sample("mem.workload_mb", memRes.WorkloadMB)
+		prof.Sample("mem.gpu_mb", memRes.FootprintByUse.GPUMB)
+		prof.Sample("mem.heap_mb", memRes.FootprintByUse.CPUHeapMB)
+		prof.Sample("mem.media_mb", memRes.FootprintByUse.MediaMB)
+		prof.Sample("gpu.util", gpuRes.Util)
+		prof.Sample("gpu.freq_mhz", gpuRes.FreqHz/1e6)
+		prof.Sample("gpu.fps", gpuRes.FPS)
+		prof.Sample("gpu.tex_miss_ratio", gpuRes.TexMissRatio)
+		prof.Sample("gpu.bus_bytes", gpuRes.BytesMoved)
+		prof.Sample("aie.util", aieRes.Util)
+		prof.Sample("aie.freq_mhz", aieRes.FreqHz/1e6)
+		prof.Sample("aie.cpu_fallback", aieRes.CPUFallbackDemand)
+		prof.Sample("storage.bytes", ioRes.BytesMoved)
+		prof.Sample("storage.read_mbps", phase.IO.SeqReadMBs+phase.IO.RandReadIOPS*4096/1e6)
+		prof.Sample("storage.write_mbps", phase.IO.SeqWriteMBs+phase.IO.RandWriteIOPS*4096/1e6)
+		prof.Sample("storage.iops", phase.IO.RandReadIOPS+phase.IO.RandWriteIOPS)
+		prof.Sample("mem.free_mb", e.plat.Memory.TotalMB-memRes.UsedMB)
+		prof.Sample("gpu.frame_time_ms", frameTimeMS(gpuRes.FPS))
+		prof.Sample("gpu.drawcall_rate", gpuRes.FPS*phase.GPU.DrawCallsPerFrame)
+		prof.Sample("slc.accesses", float64(slc.Stats().Accesses))
+		prof.Sample("slc.misses", float64(slc.Stats().Misses))
+		prof.Sample("l3.accesses", float64(l3.Stats().Accesses))
+		prof.Sample("l3.misses", float64(l3.Stats().Misses))
+		prof.Sample("cpu.total_instr", totInstr)
+		prof.Sample("cpu.total_cycles", totCycles)
+		prof.Sample("power.total_w", pw.TotalW())
+		prof.Sample("power.cpu_w", pw.CPUW())
+		prof.Sample("power.little_w", pw.Cluster[soc.Little])
+		prof.Sample("power.mid_w", pw.Cluster[soc.Mid])
+		prof.Sample("power.big_w", pw.Cluster[soc.Big])
+		prof.Sample("power.gpu_w", pw.GPU)
+		prof.Sample("power.aie_w", pw.AIE)
+		prof.Sample("power.dram_w", pw.DRAM)
+		prof.Sample("power.storage_w", pw.Storage)
+		prof.Sample("energy.total_j", powerModel.EnergyJ())
+		prof.Sample("thermal.cpu_c", th.NodeC[thermal.NodeCPU])
+		prof.Sample("thermal.gpu_c", th.NodeC[thermal.NodeGPU])
+		prof.Sample("thermal.soc_c", th.NodeC[thermal.NodeSoC])
+		prof.Sample("thermal.skin_c", th.SkinC)
+		prof.Sample("thermal.cpu_throttled", boolToFloat(th.Throttled[thermal.NodeCPU]))
+		prof.Sample(profiler.MetricInstrRate, tickInstr/cfg.TickSec)
+		if tickCycles > 0 {
+			prof.Sample(profiler.MetricIPC, tickInstr/tickCycles)
+		} else {
+			prof.Sample(profiler.MetricIPC, 0)
+		}
+		prof.Sample(profiler.MetricCacheMPKI, safeDiv(totCacheMiss, totInstr)*1000)
+		prof.Sample(profiler.MetricBranchMPKI, safeDiv(totBranchMiss, totInstr)*1000)
+
+		agg.AvgCPULoad += cpuLoad
+		agg.AvgGPULoad += gpuRes.Load
+		agg.AvgShadersBusy += gpuRes.ShadersBusy
+		agg.AvgGPUBusBusy += gpuRes.BusBusy
+		agg.AvgAIELoad += aieRes.Load
+		agg.AvgUsedMemFrac += memRes.UsedFrac
+		agg.AvgUsedMemMB += memRes.UsedMB
+		if memRes.UsedMB > agg.PeakUsedMemMB {
+			agg.PeakUsedMemMB = memRes.UsedMB
+		}
+	}
+
+	n := float64(ticks)
+	agg.AvgPowerW = powerModel.AveragePowerW()
+	agg.EnergyJ = powerModel.EnergyJ()
+	agg.RuntimeSec = duration
+	agg.InstrCount = totInstr
+	agg.IPC = safeDiv(totInstr, totCycles)
+	agg.CacheMPKI = safeDiv(totCacheMiss, totInstr) * 1000
+	agg.BranchMPKI = safeDiv(totBranchMiss, totInstr) * 1000
+	agg.AvgCPULoad /= n
+	agg.AvgGPULoad /= n
+	agg.AvgShadersBusy /= n
+	agg.AvgGPUBusBusy /= n
+	agg.AvgAIELoad /= n
+	agg.AvgUsedMemFrac /= n
+	agg.AvgUsedMemMB /= n
+	for k := range agg.ClusterLoad {
+		agg.ClusterLoad[k] /= n
+	}
+
+	tr, err := prof.Trace()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Workload: w.Name, Trace: tr, Agg: agg}, nil
+}
+
+// sampleMissProfile refreshes a cluster's measured memory/branch behaviour
+// by driving sampled synthetic streams through the cache hierarchy and
+// branch predictor.
+func (e *Engine) sampleMissProfile(cs *clusterState, cp workload.CPUPhase, rng *xrand.Rand) cpu.MissProfile {
+	var miss cpu.MissProfile
+	n := e.cfg.CacheSamples
+	if n > 0 && cp.Mix.LoadStoreFrac > 0 {
+		counts := cs.stream.Batch(cs.hier, n)
+		for i := 0; i < 4; i++ {
+			miss.MissesPerInstr[i] = float64(counts[i]) / float64(n) * cp.Mix.LoadStoreFrac
+		}
+	}
+	bn := e.cfg.BranchSamples
+	if bn > 0 && cp.Mix.BranchFrac > 0 {
+		wrong := cs.branches.Measure(cs.pred, bn)
+		miss.BranchMissPerInstr = float64(wrong) / float64(bn) * cp.Mix.BranchFrac
+	}
+	_ = rng
+	return miss
+}
+
+// RunAveraged executes runs repetitions and returns the averaged trace and
+// aggregates (the paper's methodology: three runs, metrics averaged).
+func (e *Engine) RunAveraged(w workload.Workload, runs int) (*Result, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	results := make([]*Result, 0, runs)
+	for r := 0; r < runs; r++ {
+		res, err := e.Run(w, r)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	traces := make([]*profiler.Trace, len(results))
+	for i, r := range results {
+		traces[i] = r.Trace
+	}
+	mean, err := profiler.MeanTraces(traces)
+	if err != nil {
+		return nil, err
+	}
+	agg := results[0].Agg
+	for _, r := range results[1:] {
+		agg = addAgg(agg, r.Agg)
+	}
+	agg = scaleAgg(agg, 1/float64(len(results)))
+	agg.Name = w.Name
+	return &Result{Workload: w.Name, Trace: mean, Agg: agg}, nil
+}
+
+func addAgg(a, b Aggregates) Aggregates {
+	a.RuntimeSec += b.RuntimeSec
+	a.InstrCount += b.InstrCount
+	a.IPC += b.IPC
+	a.CacheMPKI += b.CacheMPKI
+	a.BranchMPKI += b.BranchMPKI
+	a.AvgCPULoad += b.AvgCPULoad
+	a.AvgGPULoad += b.AvgGPULoad
+	a.AvgShadersBusy += b.AvgShadersBusy
+	a.AvgGPUBusBusy += b.AvgGPUBusBusy
+	a.AvgAIELoad += b.AvgAIELoad
+	a.AvgUsedMemFrac += b.AvgUsedMemFrac
+	a.AvgUsedMemMB += b.AvgUsedMemMB
+	if b.PeakUsedMemMB > a.PeakUsedMemMB {
+		a.PeakUsedMemMB = b.PeakUsedMemMB
+	}
+	for k := range a.ClusterLoad {
+		a.ClusterLoad[k] += b.ClusterLoad[k]
+	}
+	a.AvgPowerW += b.AvgPowerW
+	a.EnergyJ += b.EnergyJ
+	if b.PeakCPUTempC > a.PeakCPUTempC {
+		a.PeakCPUTempC = b.PeakCPUTempC
+	}
+	return a
+}
+
+func scaleAgg(a Aggregates, f float64) Aggregates {
+	a.RuntimeSec *= f
+	a.InstrCount *= f
+	a.IPC *= f
+	a.CacheMPKI *= f
+	a.BranchMPKI *= f
+	a.AvgCPULoad *= f
+	a.AvgGPULoad *= f
+	a.AvgShadersBusy *= f
+	a.AvgGPUBusBusy *= f
+	a.AvgAIELoad *= f
+	a.AvgUsedMemFrac *= f
+	a.AvgUsedMemMB *= f
+	for k := range a.ClusterLoad {
+		a.ClusterLoad[k] *= f
+	}
+	a.AvgPowerW *= f
+	a.EnergyJ *= f
+	return a
+}
+
+// splitDemand splits a capacity demand into schedulable task chunks no
+// larger than a Big core.
+func splitDemand(total float64) []sched.Task {
+	var out []sched.Task
+	for total > 0 {
+		d := total
+		if d > 0.9 {
+			d = 0.9
+		}
+		out = append(out, sched.Task{Demand: d})
+		total -= d
+	}
+	return out
+}
+
+func phaseIndexAt(w workload.Workload, t float64) int {
+	acc := 0.0
+	for i, p := range w.Phases {
+		if t < acc+p.Duration {
+			return i
+		}
+		acc += p.Duration
+	}
+	return len(w.Phases) - 1
+}
+
+func clusterMetric(k soc.ClusterKind, name string) string {
+	return fmt.Sprintf("cpu.%s.%s", clusterSlug(k), name)
+}
+
+func coreMetric(k soc.ClusterKind, core int, name string) string {
+	return fmt.Sprintf("cpu.%s.core%d.%s", clusterSlug(k), core, name)
+}
+
+func clusterSlug(k soc.ClusterKind) string {
+	switch k {
+	case soc.Little:
+		return "little"
+	case soc.Mid:
+		return "mid"
+	case soc.Big:
+		return "big"
+	default:
+		return "unknown"
+	}
+}
+
+// governorByName resolves a Config.Governor value.
+func governorByName(name string) (cpu.Governor, error) {
+	switch name {
+	case "", "schedutil":
+		return cpu.NewSchedutil(), nil
+	case "performance":
+		return cpu.Performance{}, nil
+	case "powersave":
+		return cpu.Powersave{}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown governor %q", name)
+	}
+}
+
+func boolToFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func hashName(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// frameTimeMS converts a frame rate to per-frame milliseconds (0 when idle).
+func frameTimeMS(fps float64) float64 {
+	if fps <= 0 {
+		return 0
+	}
+	return 1000 / fps
+}

@@ -1,0 +1,87 @@
+package soc
+
+// Midrange750G returns a Snapdragon 750G-class mid-range platform: a
+// dual-cluster CPU (2 Kryo 570 Gold / Cortex-A77 + 6 Silver / Cortex-A55,
+// no prime core), a smaller Adreno 619 GPU, a Hexagon 694 AIE and 8 GB of
+// LPDDR4X. It demonstrates that the characterization pipeline is not tied
+// to the paper's flagship hardware: pass it via Options.Platform /
+// sim.Config.Platform to re-run any analysis on mid-range silicon.
+func Midrange750G() *Platform {
+	const (
+		kb  = 1024
+		mb  = 1024 * kb
+		ghz = 1e9
+	)
+	p := &Platform{
+		Name:   "Snapdragon 750G-class midrange",
+		OSName: "Android 11",
+	}
+	// No prime cluster on this tier.
+	p.Clusters[Big] = CPUCluster{
+		Kind:     Big,
+		Name:     "(absent)",
+		NumCores: 0,
+	}
+	p.Clusters[Mid] = CPUCluster{
+		Kind:          Mid,
+		Name:          "Kryo 570 Gold (ARM Cortex-A77)",
+		NumCores:      2,
+		MaxFreqHz:     2.2 * ghz,
+		MinFreqHz:     0.65 * ghz,
+		FreqStepsHz:   freqTable(0.65*ghz, 2.2*ghz, 12),
+		IssueWidth:    6,
+		BaseIPCScale:  0.85,
+		CapacityScale: 1.0, // the biggest cores on this platform
+		L1I:           CacheGeometry{Name: "Mid L1I", SizeBytes: 32 * kb, LineBytes: 64, Ways: 4, LatencyCycles: 2},
+		L1D:           CacheGeometry{Name: "Mid L1D", SizeBytes: 32 * kb, LineBytes: 64, Ways: 4, LatencyCycles: 3},
+		L2:            CacheGeometry{Name: "Mid L2", SizeBytes: 512 * kb, LineBytes: 64, Ways: 8, LatencyCycles: 11},
+	}
+	p.Clusters[Little] = CPUCluster{
+		Kind:          Little,
+		Name:          "Kryo 570 Silver (ARM Cortex-A55)",
+		NumCores:      6,
+		MaxFreqHz:     1.8 * ghz,
+		MinFreqHz:     0.3 * ghz,
+		FreqStepsHz:   freqTable(0.3*ghz, 1.8*ghz, 12),
+		IssueWidth:    2,
+		BaseIPCScale:  0.65,
+		CapacityScale: 0.38,
+		L1I:           CacheGeometry{Name: "Little L1I", SizeBytes: 32 * kb, LineBytes: 64, Ways: 4, LatencyCycles: 1},
+		L1D:           CacheGeometry{Name: "Little L1D", SizeBytes: 32 * kb, LineBytes: 64, Ways: 4, LatencyCycles: 2},
+		L2:            CacheGeometry{Name: "Little L2", SizeBytes: 128 * kb, LineBytes: 64, Ways: 4, LatencyCycles: 8},
+	}
+	p.L3 = CacheGeometry{Name: "L3", SizeBytes: 1 * mb, LineBytes: 64, Ways: 16, LatencyCycles: 30}
+	p.SLC = CacheGeometry{Name: "SLC", SizeBytes: 1 * mb, LineBytes: 64, Ways: 8, LatencyCycles: 42}
+	p.GPU = GPU{
+		Name:          "Adreno 619",
+		NumShaders:    384,
+		MaxFreqHz:     0.825 * ghz,
+		MinFreqHz:     0.3 * ghz,
+		L1TexKB:       64,
+		BusWidthBytes: 16,
+		BusFreqHz:     1.3 * ghz,
+	}
+	p.AIE = AIE{
+		Name:            "Hexagon 694",
+		MaxFreqHz:       0.8 * ghz,
+		VectorLanes:     512,
+		SupportedCodecs: []string{"H264", "H265", "VP9"},
+	}
+	p.Memory = Memory{
+		Kind:        "LPDDR4X",
+		TotalMB:     8192,
+		IdleOSMB:    1100,
+		BandwidthBs: 17e9,
+		LatencyNs:   130,
+	}
+	p.Storage = Storage{
+		Kind:          "UFS 2.2",
+		TotalGB:       128,
+		SeqReadMBs:    950,
+		SeqWriteMBs:   500,
+		RandReadIOPS:  120000,
+		RandWriteIOPS: 110000,
+	}
+	p.Display = Display{Width: 2400, Height: 1080, RefreshHz: 120}
+	return p
+}

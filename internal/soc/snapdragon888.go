@@ -1,0 +1,109 @@
+package soc
+
+// freqTable builds an ascending DVFS operating-point table between min and
+// max with the given number of steps (inclusive of both endpoints).
+func freqTable(minHz, maxHz float64, steps int) []float64 {
+	if steps < 2 {
+		return []float64{maxHz}
+	}
+	t := make([]float64, steps)
+	for i := range t {
+		t[i] = minHz + (maxHz-minHz)*float64(i)/float64(steps-1)
+	}
+	return t
+}
+
+// Snapdragon888HDK returns the paper's experimental platform (Table II):
+// a Snapdragon 888 Mobile Hardware Development Kit running Android 11 with a
+// Full-HD external display.
+func Snapdragon888HDK() *Platform {
+	const (
+		kb  = 1024
+		mb  = 1024 * kb
+		ghz = 1e9
+	)
+	p := &Platform{
+		Name:   "Qualcomm Snapdragon 888 Mobile HDK",
+		OSName: "Android 11",
+	}
+	p.Clusters[Big] = CPUCluster{
+		Kind:          Big,
+		Name:          "Kryo 680 Prime (ARM Cortex-X1)",
+		NumCores:      1,
+		MaxFreqHz:     3.0 * ghz,
+		MinFreqHz:     0.84 * ghz,
+		FreqStepsHz:   freqTable(0.84*ghz, 3.0*ghz, 16),
+		IssueWidth:    8, // the paper cites a theoretical max IPC of 8
+		BaseIPCScale:  1.0,
+		CapacityScale: 1.0,
+		L1I:           CacheGeometry{Name: "Big L1I", SizeBytes: 64 * kb, LineBytes: 64, Ways: 4, LatencyCycles: 2},
+		L1D:           CacheGeometry{Name: "Big L1D", SizeBytes: 64 * kb, LineBytes: 64, Ways: 4, LatencyCycles: 3},
+		L2:            CacheGeometry{Name: "Big L2", SizeBytes: 1 * mb, LineBytes: 64, Ways: 8, LatencyCycles: 12},
+	}
+	p.Clusters[Mid] = CPUCluster{
+		Kind:          Mid,
+		Name:          "Kryo 680 Gold (ARM Cortex-A78)",
+		NumCores:      3,
+		MaxFreqHz:     2.42 * ghz,
+		MinFreqHz:     0.71 * ghz,
+		FreqStepsHz:   freqTable(0.71*ghz, 2.42*ghz, 14),
+		IssueWidth:    6,
+		BaseIPCScale:  0.90,
+		CapacityScale: 0.68,
+		L1I:           CacheGeometry{Name: "Mid L1I", SizeBytes: 32 * kb, LineBytes: 64, Ways: 4, LatencyCycles: 2},
+		L1D:           CacheGeometry{Name: "Mid L1D", SizeBytes: 32 * kb, LineBytes: 64, Ways: 4, LatencyCycles: 3},
+		L2:            CacheGeometry{Name: "Mid L2", SizeBytes: 512 * kb, LineBytes: 64, Ways: 8, LatencyCycles: 11},
+	}
+	p.Clusters[Little] = CPUCluster{
+		Kind:          Little,
+		Name:          "Kryo 680 Silver (ARM Cortex-A55)",
+		NumCores:      4,
+		MaxFreqHz:     1.8 * ghz,
+		MinFreqHz:     0.3 * ghz,
+		FreqStepsHz:   freqTable(0.3*ghz, 1.8*ghz, 12),
+		IssueWidth:    2,
+		BaseIPCScale:  0.65,
+		CapacityScale: 0.28,
+		L1I:           CacheGeometry{Name: "Little L1I", SizeBytes: 32 * kb, LineBytes: 64, Ways: 4, LatencyCycles: 1},
+		L1D:           CacheGeometry{Name: "Little L1D", SizeBytes: 32 * kb, LineBytes: 64, Ways: 4, LatencyCycles: 2},
+		L2:            CacheGeometry{Name: "Little L2", SizeBytes: 128 * kb, LineBytes: 64, Ways: 4, LatencyCycles: 8},
+	}
+	p.L3 = CacheGeometry{Name: "L3", SizeBytes: 4 * mb, LineBytes: 64, Ways: 16, LatencyCycles: 32}
+	p.SLC = CacheGeometry{Name: "SLC", SizeBytes: 3 * mb, LineBytes: 64, Ways: 12, LatencyCycles: 45}
+	p.GPU = GPU{
+		Name:          "Adreno 660",
+		NumShaders:    1024, // ALU lanes across 2 shader-processor clusters
+		MaxFreqHz:     0.840 * ghz,
+		MinFreqHz:     0.315 * ghz,
+		L1TexKB:       128,
+		BusWidthBytes: 32,
+		BusFreqHz:     1.6 * ghz,
+	}
+	p.AIE = AIE{
+		Name:        "Hexagon 780",
+		MaxFreqHz:   1.0 * ghz,
+		VectorLanes: 1024,
+		// The SoC accelerates H264, H265 and VP9 but not AV1; AV1 decode
+		// falls back to the CPU (Section V-B of the paper).
+		SupportedCodecs: []string{"H264", "H265", "VP9"},
+	}
+	p.Memory = Memory{
+		Kind:    "LPDDR5",
+		TotalMB: 12113, // 11.83 GB visible, as reported by the paper
+		// The paper measured idle OS+services usage and subtracted it;
+		// ~1.2 GB is typical for Android 11 at idle.
+		IdleOSMB:    1228,
+		BandwidthBs: 51.2e9,
+		LatencyNs:   110,
+	}
+	p.Storage = Storage{
+		Kind:          "UFS 3.1",
+		TotalGB:       256,
+		SeqReadMBs:    2100,
+		SeqWriteMBs:   1200,
+		RandReadIOPS:  300000,
+		RandWriteIOPS: 265000,
+	}
+	p.Display = Display{Width: 1920, Height: 1080, RefreshHz: 60}
+	return p
+}

@@ -1,0 +1,198 @@
+package soc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapdragon888Valid(t *testing.T) {
+	p := Snapdragon888HDK()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("reference platform invalid: %v", err)
+	}
+}
+
+func TestSnapdragon888TableII(t *testing.T) {
+	p := Snapdragon888HDK()
+	if got := p.TotalCores(); got != 8 {
+		t.Fatalf("total cores = %d, want 8 (1 Prime + 3 Gold + 4 Silver)", got)
+	}
+	if p.Clusters[Big].NumCores != 1 || p.Clusters[Mid].NumCores != 3 || p.Clusters[Little].NumCores != 4 {
+		t.Fatalf("cluster core counts wrong: %d/%d/%d",
+			p.Clusters[Big].NumCores, p.Clusters[Mid].NumCores, p.Clusters[Little].NumCores)
+	}
+	if p.Clusters[Big].MaxFreqHz != 3.0e9 {
+		t.Fatalf("Prime max frequency = %g, want 3 GHz", p.Clusters[Big].MaxFreqHz)
+	}
+	if p.Clusters[Mid].MaxFreqHz != 2.42e9 {
+		t.Fatalf("Gold max frequency = %g, want 2.42 GHz", p.Clusters[Mid].MaxFreqHz)
+	}
+	if p.Clusters[Little].MaxFreqHz != 1.8e9 {
+		t.Fatalf("Silver max frequency = %g, want 1.8 GHz", p.Clusters[Little].MaxFreqHz)
+	}
+	if p.L3.SizeBytes != 4<<20 {
+		t.Fatalf("L3 = %d bytes, want 4 MB", p.L3.SizeBytes)
+	}
+	if p.SLC.SizeBytes != 3<<20 {
+		t.Fatalf("SLC = %d bytes, want 3 MB", p.SLC.SizeBytes)
+	}
+	if p.Clusters[Big].L2.SizeBytes != 1<<20 {
+		t.Fatalf("Big L2 = %d, want 1 MB", p.Clusters[Big].L2.SizeBytes)
+	}
+	if p.Clusters[Mid].L2.SizeBytes != 512<<10 {
+		t.Fatalf("Mid L2 = %d, want 512 KB", p.Clusters[Mid].L2.SizeBytes)
+	}
+	if p.Clusters[Little].L2.SizeBytes != 128<<10 {
+		t.Fatalf("Little L2 = %d, want 128 KB", p.Clusters[Little].L2.SizeBytes)
+	}
+	if p.Display.Width != 1920 || p.Display.Height != 1080 {
+		t.Fatalf("display %dx%d, want 1920x1080", p.Display.Width, p.Display.Height)
+	}
+	// The paper cites a theoretical max IPC of 8 on the Big core.
+	if p.Clusters[Big].IssueWidth != 8 {
+		t.Fatalf("Big issue width = %d, want 8", p.Clusters[Big].IssueWidth)
+	}
+}
+
+func TestCodecSupport(t *testing.T) {
+	a := Snapdragon888HDK().AIE
+	for _, codec := range []string{"H264", "H265", "VP9"} {
+		if !a.SupportsCodec(codec) {
+			t.Errorf("AIE should accelerate %s", codec)
+		}
+	}
+	// The paper attributes Antutu UX's CPU spike to AV1 lacking hardware
+	// support.
+	if a.SupportsCodec("AV1") {
+		t.Error("AIE must not accelerate AV1 on this platform")
+	}
+}
+
+func TestClusterNames(t *testing.T) {
+	want := map[ClusterKind]string{Little: "CPU Little", Mid: "CPU Mid", Big: "CPU Big"}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), name)
+		}
+	}
+	if !strings.HasPrefix(ClusterKind(9).String(), "ClusterKind(") {
+		t.Error("unknown cluster kind should stringify defensively")
+	}
+}
+
+func TestClustersOrder(t *testing.T) {
+	cs := Clusters()
+	if len(cs) != 3 || cs[0] != Little || cs[1] != Mid || cs[2] != Big {
+		t.Fatalf("Clusters() = %v, want ascending capability order", cs)
+	}
+}
+
+func TestCacheGeometry(t *testing.T) {
+	g := CacheGeometry{Name: "t", SizeBytes: 64 << 10, LineBytes: 64, Ways: 4}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+	if got := g.Sets(); got != 256 {
+		t.Fatalf("sets = %d, want 256", got)
+	}
+}
+
+func TestCacheGeometryErrors(t *testing.T) {
+	cases := []CacheGeometry{
+		{Name: "zero size", SizeBytes: 0, LineBytes: 64, Ways: 4},
+		{Name: "bad line", SizeBytes: 1024, LineBytes: 48, Ways: 4},
+		{Name: "zero ways", SizeBytes: 1024, LineBytes: 64, Ways: 0},
+		{Name: "indivisible", SizeBytes: 1000, LineBytes: 64, Ways: 4},
+	}
+	for _, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Errorf("geometry %q should be invalid", g.Name)
+		}
+	}
+}
+
+func TestPlatformValidationErrors(t *testing.T) {
+	p := Snapdragon888HDK()
+	p.Clusters[Big].MinFreqHz = 5e9 // min > max
+	if err := p.Validate(); err == nil {
+		t.Error("inverted frequency range accepted")
+	}
+
+	p = Snapdragon888HDK()
+	p.Clusters[Mid].FreqStepsHz = []float64{2e9, 1e9} // descending
+	if err := p.Validate(); err == nil {
+		t.Error("non-ascending DVFS table accepted")
+	}
+
+	p = Snapdragon888HDK()
+	p.Memory.IdleOSMB = p.Memory.TotalMB + 1
+	if err := p.Validate(); err == nil {
+		t.Error("idle baseline above total memory accepted")
+	}
+
+	p = Snapdragon888HDK()
+	p.GPU.NumShaders = 0
+	if err := p.Validate(); err == nil {
+		t.Error("shaderless GPU accepted")
+	}
+}
+
+func TestMemoryAvailable(t *testing.T) {
+	m := Memory{TotalMB: 1000, IdleOSMB: 200}
+	if got := m.AvailableMB(); got != 800 {
+		t.Fatalf("available = %g, want 800", got)
+	}
+}
+
+func TestGPUBandwidth(t *testing.T) {
+	g := GPU{BusWidthBytes: 32, BusFreqHz: 1e9}
+	if got := g.MaxBusBandwidth(); got != 32e9 {
+		t.Fatalf("bandwidth = %g, want 32e9", got)
+	}
+}
+
+func TestPeakInstrPerSec(t *testing.T) {
+	p := Snapdragon888HDK()
+	peak := p.PeakInstrPerSec()
+	// 1x8x3GHz + 3x6x2.42GHz + 4x2x1.8GHz = 24 + 43.56 + 14.4 = 81.96 G/s
+	want := 81.96e9
+	if diff := peak - want; diff > 1e6 || diff < -1e6 {
+		t.Fatalf("peak = %g, want %g", peak, want)
+	}
+}
+
+func TestDisplayPixels(t *testing.T) {
+	d := Display{Width: 1920, Height: 1080}
+	if d.Pixels() != 2073600 {
+		t.Fatalf("pixels = %d", d.Pixels())
+	}
+}
+
+func TestFreqTable(t *testing.T) {
+	p := Snapdragon888HDK()
+	for _, k := range Clusters() {
+		steps := p.Clusters[k].FreqStepsHz
+		if steps[0] != p.Clusters[k].MinFreqHz {
+			t.Errorf("%v: first OPP %g != min %g", k, steps[0], p.Clusters[k].MinFreqHz)
+		}
+		if steps[len(steps)-1] != p.Clusters[k].MaxFreqHz {
+			t.Errorf("%v: last OPP %g != max %g", k, steps[len(steps)-1], p.Clusters[k].MaxFreqHz)
+		}
+	}
+}
+
+func TestMidrangePlatformValid(t *testing.T) {
+	p := Midrange750G()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("midrange platform invalid: %v", err)
+	}
+	if p.TotalCores() != 8 {
+		t.Fatalf("total cores = %d, want 8 (2 Gold + 6 Silver)", p.TotalCores())
+	}
+	if p.Clusters[Big].NumCores != 0 {
+		t.Fatal("midrange platform has no prime core")
+	}
+	if p.GPU.NumShaders >= Snapdragon888HDK().GPU.NumShaders {
+		t.Fatal("midrange GPU should be smaller than the flagship's")
+	}
+}

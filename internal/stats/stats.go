@@ -1,0 +1,244 @@
+// Package stats provides the statistical primitives of the analysis layer:
+// Pearson correlation (Table III), min-max normalization, Euclidean
+// distances (the Yi et al. subset-representativeness technique) and summary
+// helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// It returns an error when the lengths differ or either series has zero
+// variance (the coefficient is undefined).
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: Pearson length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("stats: Pearson needs at least 2 points")
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: Pearson undefined for zero-variance input")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// CorrelationStrength classifies a Pearson coefficient the way the paper
+// does: |r| >= 0.8 strong, 0.4 <= |r| < 0.8 moderate, otherwise none.
+type CorrelationStrength int
+
+// Correlation strength bands.
+const (
+	NoAssociation CorrelationStrength = iota
+	Moderate
+	Strong
+)
+
+// String returns the band name.
+func (c CorrelationStrength) String() string {
+	switch c {
+	case Strong:
+		return "strong"
+	case Moderate:
+		return "moderate"
+	default:
+		return "none"
+	}
+}
+
+// Strength classifies r into the paper's bands.
+func Strength(r float64) CorrelationStrength {
+	a := math.Abs(r)
+	switch {
+	case a >= 0.8:
+		return Strong
+	case a >= 0.4:
+		return Moderate
+	default:
+		return NoAssociation
+	}
+}
+
+// CorrelationMatrix returns the full Pearson matrix of the columns.
+// Undefined entries (zero variance) are reported as 0.
+func CorrelationMatrix(cols [][]float64) [][]float64 {
+	n := len(cols)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			r, err := Pearson(cols[i], cols[j])
+			if err != nil {
+				r = 0
+			}
+			m[i][j] = r
+			m[j][i] = r
+		}
+	}
+	return m
+}
+
+// Euclidean returns the Euclidean distance between two equal-length vectors.
+// It panics on length mismatch: vectors come from the same feature matrix,
+// so a mismatch is a programming error.
+func Euclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: Euclidean length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// NormalizeColumnsMax scales every column of the matrix by its maximum
+// absolute value (the paper's step 2: "normalize the performance metrics to
+// the maximum recorded value of each"). Columns whose maximum is zero are
+// left as zeros. The input is not modified.
+func NormalizeColumnsMax(rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	nc := len(rows[0])
+	maxAbs := make([]float64, nc)
+	for _, r := range rows {
+		for j, v := range r {
+			if a := math.Abs(v); a > maxAbs[j] {
+				maxAbs[j] = a
+			}
+		}
+	}
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = make([]float64, nc)
+		for j, v := range r {
+			if maxAbs[j] > 0 {
+				out[i][j] = v / maxAbs[j]
+			}
+		}
+	}
+	return out
+}
+
+// NormalizeColumnsMinMax scales every column to [0,1] using its min and max.
+// Constant columns become zeros. The input is not modified.
+func NormalizeColumnsMinMax(rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	nc := len(rows[0])
+	lo := make([]float64, nc)
+	hi := make([]float64, nc)
+	for j := 0; j < nc; j++ {
+		lo[j], hi[j] = math.Inf(1), math.Inf(-1)
+	}
+	for _, r := range rows {
+		for j, v := range r {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = make([]float64, nc)
+		for j, v := range r {
+			if span := hi[j] - lo[j]; span > 0 {
+				out[i][j] = (v - lo[j]) / span
+			}
+		}
+	}
+	return out
+}
+
+// MinMax returns the minimum and maximum of xs (zeros for empty input).
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// ArgMin returns the index of the smallest element (-1 for empty input).
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Percentile returns the fraction of values in xs that are <= v.
+func Percentile(xs []float64, v float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x <= v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

@@ -1,0 +1,144 @@
+package workload
+
+// This file records the paper's published numbers for every analysis unit
+// and the per-unit duty factors that calibrate the simulator's dynamic
+// instruction counts to them.
+//
+// Runtimes are chosen to satisfy every constraint Table VI and the text
+// impose simultaneously:
+//   - the full set totals 4429.5 s;
+//   - the Naive subset (PCMark Storage + Geekbench 5 CPU + GFXBench Special
+//     + 3DMark Wild Life + Geekbench 5 Compute) totals 401.7 s;
+//   - the Select subset (all of Antutu + GFXBench Special + Geekbench 5
+//     CPU) totals 865.2 s;
+//   - Select+GPU adds Geekbench 6 CPU, totalling 1108.36 s (so Geekbench 6
+//     CPU runs 243.16 s);
+//   - Wild Life runs "approximately one minute";
+//   - each Naive representative is the shortest member of its cluster.
+
+// Target is the calibration record for one analysis unit.
+type Target struct {
+	Name   string
+	Suite  string
+	Target TargetHW
+	// RuntimeSec is the unit's wall-clock duration.
+	RuntimeSec float64
+	// ICBillions is the dynamic instruction count target (Figure 1).
+	ICBillions float64
+	// IPC is the instructions-per-cycle target (Figure 1).
+	IPC float64
+	// Cluster is the expected cluster group (0..4) used for Figure 1's
+	// colouring and asserted by the clustering tests.
+	Cluster int
+}
+
+// Cluster group indices. Membership follows the constraints the paper
+// states (all Antutu segments cluster together except Antutu GPU; the Naive
+// representatives are the fastest member of each cluster); the full figures
+// are not machine-readable in the source text, so membership within those
+// constraints is our calibration.
+const (
+	GroupCPU     = 0 // CPU/everyday: Antutu CPU/Mem/UX, Aitutu, Geekbench 5/6 CPU, PCMark Work
+	GroupGame    = 1 // game-like graphics: 3DMark, Antutu GPU, GFXBench High/Low
+	GroupCompute = 2 // GPGPU: Geekbench 5/6 Compute
+	GroupStorage = 3 // storage/IO: PCMark Storage
+	GroupSpecial = 4 // render-quality: GFXBench Special
+	NumGroups    = 5
+)
+
+// Canonical analysis-unit names (the paper's figure labels).
+const (
+	NameSlingshot        = "3DMark Slingshot"
+	NameSlingshotExtreme = "3DMark Slingshot Extreme"
+	NameWildLife         = "3DMark Wild Life"
+	NameWildLifeExtreme  = "3DMark Wild Life Extreme"
+	NameAntutuCPU        = "Antutu CPU"
+	NameAntutuGPU        = "Antutu GPU"
+	NameAntutuMem        = "Antutu Mem"
+	NameAntutuUX         = "Antutu UX"
+	NameAitutu           = "Aitutu"
+	NameGB5CPU           = "Geekbench 5 CPU"
+	NameGB5Compute       = "Geekbench 5 Compute"
+	NameGB6CPU           = "Geekbench 6 CPU"
+	NameGB6Compute       = "Geekbench 6 Compute"
+	NameGFXHigh          = "GFXBench High"
+	NameGFXLow           = "GFXBench Low"
+	NameGFXSpecial       = "GFXBench Special"
+	NamePCMarkStorage    = "PCMark Storage"
+	NamePCMarkWork       = "PCMark Work"
+)
+
+// Targets lists the calibration record of every analysis unit.
+var Targets = []Target{
+	{NameSlingshot, "3DMark v2", TargetGPU, 180, 9, 0.67, GroupGame},
+	{NameSlingshotExtreme, "3DMark v2", TargetGPU, 200, 10, 0.71, GroupGame},
+	{NameWildLife, "3DMark v2", TargetGPU, 62, 4, 0.51, GroupGame},
+	{NameWildLifeExtreme, "3DMark v2", TargetGPU, 74.44, 5, 0.50, GroupGame},
+	{NameAntutuCPU, "Antutu v9", TargetCPU, 150, 18, 1.05, GroupCPU},
+	{NameAntutuGPU, "Antutu v9", TargetGPU, 230, 7, 0.59, GroupGame},
+	{NameAntutuMem, "Antutu v9", TargetMemory, 130, 6, 0.52, GroupCPU},
+	{NameAntutuUX, "Antutu v9", TargetUX, 190.2, 14, 0.89, GroupCPU},
+	{NameAitutu, "Aitutu v2", TargetAI, 150, 12, 0.98, GroupCPU},
+	{NameGB5CPU, "Geekbench 5", TargetCPU, 120, 24, 1.25, GroupCPU},
+	{NameGB5Compute, "Geekbench 5", TargetGPU, 104.7, 3, 0.74, GroupCompute},
+	{NameGB6CPU, "Geekbench 6", TargetCPU, 243.16, 57, 1.07, GroupCPU},
+	{NameGB6Compute, "Geekbench 6", TargetGPU, 180, 5, 0.78, GroupCompute},
+	{NameGFXHigh, "GFXBench v5", TargetGPU, 1400, 30, 0.61, GroupGame},
+	{NameGFXLow, "GFXBench v5", TargetGPU, 600, 12, 0.60, GroupGame},
+	{NameGFXSpecial, "GFXBench v5", TargetGPU, 45, 1, 0.63, GroupSpecial},
+	{NamePCMarkStorage, "PCMark", TargetStorage, 70, 2.5, 1.23, GroupStorage},
+	{NamePCMarkWork, "PCMark", TargetUX, 300, 16, 0.84, GroupCPU},
+}
+
+// TargetFor returns the calibration record for the named unit.
+func TargetFor(name string) (Target, bool) {
+	for _, t := range Targets {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Target{}, false
+}
+
+// dutyFactor scales each unit's relative per-phase ComputeDuty weights into
+// absolute duties so that the simulated dynamic instruction count matches
+// the unit's ICBillions target. The values were fitted by running the
+// simulator (see TestCalibrationReport) and solving
+// factor' = factor x target/measured once; IC is linear in duty.
+var dutyFactor = map[string]float64{
+	NameSlingshot:        0.01349,
+	NameSlingshotExtreme: 0.01682,
+	NameWildLife:         0.03626,
+	NameWildLifeExtreme:  0.03809,
+	NameAntutuCPU:        0.00868,
+	NameAntutuGPU:        0.01098,
+	NameAntutuMem:        0.01946,
+	NameAntutuUX:         0.01356,
+	NameAitutu:           0.00864,
+	NameGB5CPU:           0.01221,
+	NameGB5Compute:       0.02270,
+	NameGB6CPU:           0.01435,
+	NameGB6Compute:       0.02081,
+	NameGFXHigh:          0.00895,
+	NameGFXLow:           0.00940,
+	NameGFXSpecial:       0.02503,
+	NamePCMarkStorage:    0.02062,
+	NamePCMarkWork:       0.01217,
+}
+
+// applyDuty scales the workload's relative ComputeDuty weights by the
+// unit's calibrated duty factor, clamping into [0,1].
+func applyDuty(w Workload) Workload {
+	f, ok := dutyFactor[w.Name]
+	if !ok {
+		f = 0.05
+	}
+	for i := range w.Phases {
+		d := w.Phases[i].CPU.ComputeDuty * f
+		if d > 1 {
+			d = 1
+		}
+		w.Phases[i].CPU.ComputeDuty = d
+	}
+	return w
+}

@@ -1,0 +1,168 @@
+package workload
+
+import "mobilebench/internal/cpu"
+
+// Geekbench 5 and 6 (Primate Labs): each version has a CPU benchmark
+// (single-core pass followed by a multi-core pass over the same sections)
+// and a GPU Compute benchmark. The single-core pass keeps overall CPU load
+// near 30%; the multi-core pass floods all three clusters (Observations #1
+// and #9).
+
+// GB5CPU returns the Geekbench 5 CPU workload: integer, floating-point and
+// cryptography sections.
+func GB5CPU() Workload {
+	w := Workload{Name: NameGB5CPU, Suite: "Geekbench 5", Target: TargetCPU}
+	w.Phases = append(w.Phases, gbSetup(4, 700))
+
+	// Single-core pass (~60 s): one thread saturating the Big core.
+	single := []Phase{
+		gbPhase("single integer", 28, singleHeavy(0.95), mixInteger(), 8, 1.4),
+		gbPhase("single floating point", 26, singleHeavy(0.95), mixFloat(), 10, 1.4),
+		gbPhase("single crypto", 12, singleHeavy(0.95), mixCrypto(), 4, 1.5),
+	}
+	// Multi-core pass (~48 s): eight threads flood every cluster.
+	multi := []Phase{
+		gbPhase("multi integer", 18, multiCore(8, 0.85), mixInteger(), 16, 1.5),
+		gbPhase("multi floating point", 16, multiCore(8, 0.85), mixFloat(), 20, 1.5),
+		gbPhase("multi crypto", 8, multiCore(8, 0.85), mixCrypto(), 8, 1.6),
+	}
+	w.Phases = append(w.Phases, single...)
+	w.Phases = append(w.Phases, multi...)
+	w.Phases = append(w.Phases, gbTeardown(8, 700))
+	return applyDuty(w)
+}
+
+// GB6CPU returns the Geekbench 6 CPU workload: productivity, developer,
+// machine learning, image editing and image synthesis sections. It has the
+// largest dynamic instruction count of the studied benchmarks (57 billion).
+func GB6CPU() Workload {
+	w := Workload{Name: NameGB6CPU, Suite: "Geekbench 6", Target: TargetCPU}
+	w.Phases = append(w.Phases, gbSetup(6, 1500))
+
+	single := []Phase{
+		gbPhase("single productivity", 29, singleHeavy(0.95), mixBrowse(), 24, 1.5),
+		gbPhase("single developer", 29, singleHeavy(0.95), mixInteger(), 16, 1.6),
+		gbPhaseData("single machine learning", 28, singleHeavy(0.95), mixML(), 24, 1.6),
+		gbPhaseData("single image editing", 32, singleHeavy(0.95), mixImage(), 28, 1.6),
+		gbPhase("single image synthesis", 30, singleHeavy(0.95), mixFloat(), 24, 1.6),
+	}
+	multi := []Phase{
+		gbPhase("multi productivity", 19, multiCore(8, 0.9), mixBrowse(), 32, 1.7),
+		gbPhase("multi developer", 19, multiCore(8, 0.9), mixInteger(), 24, 1.8),
+		gbPhaseData("multi machine learning", 17, multiCore(8, 0.9), mixML(), 28, 1.8),
+		gbPhaseData("multi image editing", 18, multiCore(8, 0.9), mixImage(), 32, 1.8),
+		gbPhase("multi image synthesis", 10.16, multiCore(8, 0.9), mixFloat(), 32, 1.8),
+	}
+	w.Phases = append(w.Phases, single...)
+	w.Phases = append(w.Phases, multi...)
+	w.Phases = append(w.Phases, gbTeardown(6, 1000))
+	return applyDuty(w)
+}
+
+// gbPhaseData builds a Geekbench section whose working set behaves like
+// bulk data manipulation rather than hot-loop compute (image editing, ML).
+func gbPhaseData(name string, dur float64, tasks []TaskSpec, mix cpu.InstrMix, wsMB float64, duty float64) Phase {
+	p := gbPhase(name, dur, tasks, mix, wsMB, duty)
+	p.CPU.Access = accessUX(wsMB)
+	return p
+}
+
+// gbPhase builds one Geekbench CPU section phase.
+func gbPhase(name string, dur float64, tasks []TaskSpec, mix cpu.InstrMix, wsMB float64, duty float64) Phase {
+	return Phase{
+		Name:     name,
+		Duration: dur,
+		CPU: CPUPhase{
+			Tasks:       tasks,
+			Mix:         mix,
+			Access:      accessCompute(wsMB),
+			Branches:    branchCompute(),
+			ComputeDuty: duty,
+		},
+		Mem: footCompute(900),
+	}
+}
+
+func gbSetup(dur, heapMB float64) Phase {
+	return Phase{
+		Name:     "setup",
+		Duration: dur,
+		CPU: CPUPhase{
+			Tasks:       bgUI(),
+			Mix:         mixBrowse(),
+			Access:      accessUX(6),
+			Branches:    branchWeb(),
+			ComputeDuty: 0.3,
+		},
+		Mem: footCompute(heapMB * 0.6),
+	}
+}
+
+func gbTeardown(dur, heapMB float64) Phase {
+	return Phase{
+		Name:     "results",
+		Duration: dur,
+		CPU: CPUPhase{
+			Tasks:       bgUI(),
+			Mix:         mixBrowse(),
+			Access:      accessUX(6),
+			Branches:    branchWeb(),
+			ComputeDuty: 0.3,
+		},
+		Mem: footCompute(heapMB * 0.5),
+	}
+}
+
+// GB5Compute returns Geekbench 5 Compute: eleven GPGPU workloads grouped
+// into four phases.
+func GB5Compute() Workload {
+	return applyDuty(Workload{
+		Name:   NameGB5Compute,
+		Suite:  "Geekbench 5",
+		Target: TargetGPU,
+		Phases: []Phase{
+			gbSetup(5, 600),
+			gbComputePhase("image ops (sobel, histogram, blur)", 30, 1900, 180),
+			gbComputePhase("vision (face detect, feature match)", 25, 2200, 200),
+			gbComputePhase("particle physics / SFFT", 25, 2400, 160),
+			gbComputePhase("machine learning (stereo, style)", 19.7, 2600, 220),
+		},
+	})
+}
+
+// GB6Compute returns Geekbench 6 Compute: eight workloads in the Machine
+// Learning, Image Editing, Image Synthesis and Simulation categories. Its
+// sustained off-screen compute dispatch gives it the highest average GPU
+// load of the studied benchmarks.
+func GB6Compute() Workload {
+	return applyDuty(Workload{
+		Name:   NameGB6Compute,
+		Suite:  "Geekbench 6",
+		Target: TargetGPU,
+		Phases: []Phase{
+			gbSetup(6, 800),
+			gbComputePhase("machine learning", 48, 3400, 260),
+			gbComputePhase("image editing", 44, 3200, 280),
+			gbComputePhase("image synthesis", 44, 3600, 240),
+			gbComputePhase("simulation", 38, 3800, 260),
+		},
+	})
+}
+
+// gbComputePhase builds a GPGPU phase: the GPU does the work, the CPU hosts
+// kernel dispatch on light threads.
+func gbComputePhase(name string, dur, wpp, bufMB float64) Phase {
+	return Phase{
+		Name:     name,
+		Duration: dur,
+		CPU: CPUPhase{
+			Tasks:       driverTasks(0.35),
+			Mix:         mixDriver(),
+			Access:      accessUX(8),
+			Branches:    branchData(),
+			ComputeDuty: 0.8,
+		},
+		GPU: sceneCompute(fullHDW, fullHDH, wpp, bufMB),
+		Mem: footGraphics(260, bufMB*0.5),
+	}
+}

@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"mobilebench/internal/aie"
+	"mobilebench/internal/mem"
+)
+
+// PCMark Android (UL): Work 3.0 simulates everyday activities — web
+// browsing, video editing, writing, photo editing and data manipulation —
+// and Storage 2.0 measures internal/external IO and database performance.
+// Work's video and photo editing run image pipelines on GPU shaders, which
+// is why a non-graphics benchmark shows sustained shader activity
+// (Observation #3), and its video editing raises AIE load (Observation #5).
+
+// PCMarkWork returns the Work 3.0 workload.
+func PCMarkWork() Workload {
+	return applyDuty(Workload{
+		Name:   NamePCMarkWork,
+		Suite:  "PCMark",
+		Target: TargetUX,
+		Phases: []Phase{
+			{
+				Name:     "web browsing",
+				Duration: 70,
+				CPU: CPUPhase{
+					Tasks:       append([]TaskSpec{{Count: 2, Demand: 0.20}}, bgUI()...),
+					Mix:         mixBrowse(),
+					Access:      accessUX(12),
+					Branches:    branchData(),
+					ComputeDuty: 1.1,
+				},
+				Mem: footCompute(900),
+			},
+			{
+				// Video editing: codec work on the AIE, effect rendering
+				// on GPU shaders.
+				Name:     "video editing",
+				Duration: 35,
+				CPU: CPUPhase{
+					Tasks:       append([]TaskSpec{{Count: 1, Demand: 0.45}}, bgUI()...),
+					Mix:         mixVideoSW(),
+					Access:      accessStreaming(72),
+					Branches:    branchData(),
+					ComputeDuty: 1.0,
+				},
+				GPU: editingScene(2000, 160),
+				AIE: aieOps(
+					aieVideo(aie.OpVideoDecode, "H264", 0.5),
+					aieVideo(aie.OpVideoEncode, "H264", 0.6),
+				),
+				Mem: footMedia(950, 450),
+			},
+			{
+				Name:     "writing",
+				Duration: 60,
+				CPU: CPUPhase{
+					Tasks:       append([]TaskSpec{{Count: 1, Demand: 0.6}, {Count: 1, Demand: 0.25}}, bgUI()...),
+					Mix:         mixBrowse(),
+					Access:      accessUX(8),
+					Branches:    branchData(),
+					ComputeDuty: 1.0,
+				},
+				IO:  mem.IODemand{SeqWriteMBs: 60, RandWriteIOPS: 4000},
+				Mem: footCompute(850),
+			},
+			{
+				// Photo editing: filter pipelines on GPU shaders.
+				Name:     "photo editing",
+				Duration: 45,
+				CPU: CPUPhase{
+					Tasks:       midWeight(2, 0.5),
+					Mix:         mixImage(),
+					Access:      accessStreaming(64),
+					Branches:    branchLoopy(),
+					ComputeDuty: 1.2,
+				},
+				GPU: editingScene(2200, 200),
+				AIE: aieOps(aieOp(aie.OpImageProc, 0.7)),
+				Mem: footGraphics(950, 500),
+			},
+			{
+				Name:     "data manipulation",
+				Duration: 90,
+				CPU: CPUPhase{
+					Tasks:       append([]TaskSpec{{Count: 1, Demand: 0.8}, {Count: 1, Demand: 0.25}}, bgUI()...),
+					Mix:         mixInteger(),
+					Access:      accessUX(8),
+					Branches:    branchData(),
+					ComputeDuty: 1.1,
+				},
+				Mem: footCompute(900),
+			},
+		},
+	})
+}
+
+// PCMarkStorage returns the Storage 2.0 workload.
+func PCMarkStorage() Workload {
+	return applyDuty(Workload{
+		Name:   NamePCMarkStorage,
+		Suite:  "PCMark",
+		Target: TargetStorage,
+		Phases: []Phase{
+			{
+				Name:     "internal sequential",
+				Duration: 18,
+				CPU: CPUPhase{
+					Tasks:       bgLight(),
+					Mix:         mixIOLoop(),
+					Access:      accessUX(8),
+					Branches:    branchLoopy(),
+					ComputeDuty: 0.7,
+				},
+				IO:  mem.IODemand{SeqReadMBs: 1800, SeqWriteMBs: 1000},
+				Mem: footCompute(500),
+			},
+			{
+				Name:     "internal random",
+				Duration: 20,
+				CPU: CPUPhase{
+					Tasks:       bgLight(),
+					Mix:         mixIOLoop(),
+					Access:      accessUX(8),
+					Branches:    branchLoopy(),
+					ComputeDuty: 0.8,
+				},
+				IO:  mem.IODemand{RandReadIOPS: 240000, RandWriteIOPS: 190000},
+				Mem: footCompute(520),
+			},
+			{
+				Name:     "external",
+				Duration: 16,
+				CPU: CPUPhase{
+					Tasks:       bgLight(),
+					Mix:         mixIOLoop(),
+					Access:      accessUX(6),
+					Branches:    branchLoopy(),
+					ComputeDuty: 0.7,
+				},
+				IO:  mem.IODemand{SeqReadMBs: 700, SeqWriteMBs: 400},
+				Mem: footCompute(500),
+			},
+			{
+				Name:     "database",
+				Duration: 16,
+				CPU: CPUPhase{
+					Tasks:       append([]TaskSpec{{Count: 1, Demand: 0.3}}, bgLight()...),
+					Mix:         mixIOLoop(),
+					Access:      accessUX(8),
+					Branches:    branchLoopy(),
+					ComputeDuty: 0.9,
+				},
+				IO:  mem.IODemand{RandReadIOPS: 60000, RandWriteIOPS: 50000, DatabaseOpsPerSec: 32000},
+				Mem: footCompute(560),
+			},
+		},
+	})
+}

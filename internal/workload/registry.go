@@ -1,0 +1,79 @@
+package workload
+
+import "fmt"
+
+// AnalysisUnits returns the 18 analysis units of the paper's figures, in
+// the calibration-table order: every individually plotted benchmark, with
+// Antutu split into its four segments and GFXBench grouped into its three
+// categories.
+func AnalysisUnits() []Workload {
+	return []Workload{
+		Slingshot(),
+		SlingshotExtreme(),
+		WildLife(),
+		WildLifeExtreme(),
+		AntutuCPUSegment(),
+		AntutuGPUSegment(),
+		AntutuMemSegment(),
+		AntutuUXSegment(),
+		Aitutu(),
+		GB5CPU(),
+		GB5Compute(),
+		GB6CPU(),
+		GB6Compute(),
+		GFXHigh(),
+		GFXLow(),
+		GFXSpecial(),
+		PCMarkStorage(),
+		PCMarkWork(),
+	}
+}
+
+// Executables returns the 41 sub-benchmarks a user can launch
+// independently: the 4 3DMark tests, Antutu as a whole (its components are
+// not individually runnable), Aitutu, the 2+2 Geekbench benchmarks, all 29
+// GFXBench micro-benchmarks and the 2 PCMark benchmarks.
+func Executables() []Workload {
+	out := []Workload{
+		Slingshot(),
+		SlingshotExtreme(),
+		WildLife(),
+		WildLifeExtreme(),
+		AntutuFull(),
+		Aitutu(),
+		GB5CPU(),
+		GB5Compute(),
+		GB6CPU(),
+		GB6Compute(),
+	}
+	out = append(out, GFXHighScenes()...)
+	out = append(out, GFXLowScenes()...)
+	out = append(out, GFXSpecialScenes()...)
+	out = append(out, PCMarkStorage(), PCMarkWork())
+	return out
+}
+
+// ByName returns the analysis unit with the given name.
+func ByName(name string) (Workload, error) {
+	for _, w := range AnalysisUnits() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	for _, w := range Executables() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names returns the names of the analysis units in figure order.
+func Names() []string {
+	units := AnalysisUnits()
+	out := make([]string, len(units))
+	for i, w := range units {
+		out[i] = w.Name
+	}
+	return out
+}

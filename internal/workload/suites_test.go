@@ -1,0 +1,248 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"mobilebench/internal/aie"
+	"mobilebench/internal/gpu"
+)
+
+// Suite-structure tests: the behavioural details the paper documents must
+// be present in the workload definitions themselves, independent of the
+// simulator.
+
+func TestGFXBenchAPIsAndTargets(t *testing.T) {
+	// High-Level contains both OpenGL and Vulkan scenes, with on- and
+	// off-screen variants (Section III + V-B).
+	var gl, vk, on, off int
+	for _, w := range GFXHighScenes() {
+		scene := scenePhase(t, w)
+		switch scene.GPU.API {
+		case gpu.OpenGL:
+			gl++
+		case gpu.Vulkan:
+			vk++
+		default:
+			t.Errorf("%s uses API %v", w.Name, scene.GPU.API)
+		}
+		if scene.GPU.Offscreen {
+			off++
+		} else {
+			on++
+		}
+	}
+	if gl == 0 || vk == 0 {
+		t.Fatalf("high-level scenes must span both APIs: gl=%d vk=%d", gl, vk)
+	}
+	if on == 0 || off == 0 {
+		t.Fatalf("high-level scenes must span on/off-screen: on=%d off=%d", on, off)
+	}
+	// Low-Level is OpenGL with paired on/off variants.
+	var lowOn, lowOff int
+	for _, w := range GFXLowScenes() {
+		scene := scenePhase(t, w)
+		if scene.GPU.Offscreen {
+			lowOff++
+		} else {
+			lowOn++
+		}
+	}
+	if lowOn != 4 || lowOff != 4 {
+		t.Fatalf("low-level variants: on=%d off=%d, want 4/4", lowOn, lowOff)
+	}
+}
+
+// scenePhase returns the workload's main scene phase (the longest phase).
+func scenePhase(t *testing.T, w Workload) Phase {
+	t.Helper()
+	best := w.Phases[0]
+	for _, p := range w.Phases[1:] {
+		if p.Duration > best.Duration {
+			best = p
+		}
+	}
+	return best
+}
+
+func TestAztecRuinsResolutionOptions(t *testing.T) {
+	// The paper: "Aztec Ruins contain all previous options and a 4K one."
+	has4K := false
+	hasQHD := false
+	for _, w := range GFXHighScenes() {
+		if !strings.Contains(w.Name, "Aztec") {
+			continue
+		}
+		scene := scenePhase(t, w)
+		if scene.GPU.Width == 3840 {
+			has4K = true
+		}
+		if scene.GPU.Width == 2560 {
+			hasQHD = true
+		}
+	}
+	if !has4K || !hasQHD {
+		t.Fatalf("Aztec Ruins variants must include QHD and 4K: qhd=%v 4k=%v", hasQHD, has4K)
+	}
+}
+
+func TestWildLifeUsesVulkan(t *testing.T) {
+	for _, w := range []Workload{WildLife(), WildLifeExtreme()} {
+		scene := scenePhase(t, w)
+		if scene.GPU.API != gpu.Vulkan {
+			t.Errorf("%s should render with Vulkan", w.Name)
+		}
+	}
+	// Wild Life's post-processing uses FFT on the AIE (Observation #5).
+	found := false
+	for _, p := range WildLife().Phases {
+		for _, d := range p.AIE {
+			if d.Op == aie.OpFFT {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("Wild Life must include FFT post-processing on the AIE")
+	}
+}
+
+func TestAntutuUXVideoFormats(t *testing.T) {
+	// The UX segment decodes H264, H265, VP9 and AV1 (Section V-B).
+	want := map[string]bool{"H264": false, "H265": false, "VP9": false, "AV1": false}
+	for _, p := range AntutuUXSegment().Phases {
+		for _, d := range p.AIE {
+			if d.Op == aie.OpVideoDecode {
+				if _, ok := want[d.Codec]; ok {
+					want[d.Codec] = true
+				}
+			}
+		}
+	}
+	for codec, seen := range want {
+		if !seen {
+			t.Errorf("Antutu UX must decode %s", codec)
+		}
+	}
+}
+
+func TestAntutuCPUHasGEMMAndMulticore(t *testing.T) {
+	w := AntutuCPUSegment()
+	if !strings.Contains(w.Phases[0].Name, "GEMM") {
+		t.Errorf("Antutu CPU opens with %q, the paper documents an opening GEMM", w.Phases[0].Name)
+	}
+	multiIdx := -1
+	for i, p := range w.Phases {
+		if strings.Contains(p.Name, "multi-core") {
+			multiIdx = i
+		}
+	}
+	if multiIdx < len(w.Phases)-3 {
+		t.Error("the multi-core test sits near the end of Antutu CPU")
+	}
+}
+
+func TestSlingshotPhysicsLevels(t *testing.T) {
+	// The physics test has three successively more intensive levels.
+	var demands []float64
+	for _, p := range Slingshot().Phases {
+		if strings.Contains(p.Name, "physics") {
+			sum := 0.0
+			for _, ts := range p.CPU.Tasks {
+				sum += float64(ts.Count) * ts.Demand
+			}
+			demands = append(demands, sum)
+		}
+	}
+	if len(demands) != 3 {
+		t.Fatalf("physics levels = %d, want 3", len(demands))
+	}
+	for i := 1; i < len(demands); i++ {
+		if demands[i] <= demands[i-1] {
+			t.Fatalf("physics levels not successively more intensive: %v", demands)
+		}
+	}
+}
+
+func TestGeekbenchSinglesBeforeMultis(t *testing.T) {
+	for _, w := range []Workload{GB5CPU(), GB6CPU()} {
+		lastSingle, firstMulti := -1, len(w.Phases)
+		for i, p := range w.Phases {
+			if strings.HasPrefix(p.Name, "single") && i > lastSingle {
+				lastSingle = i
+			}
+			if strings.HasPrefix(p.Name, "multi") && i < firstMulti {
+				firstMulti = i
+			}
+		}
+		if lastSingle < 0 || firstMulti == len(w.Phases) {
+			t.Fatalf("%s lacks single/multi sections", w.Name)
+		}
+		if lastSingle > firstMulti {
+			t.Errorf("%s interleaves single and multi sections", w.Name)
+		}
+	}
+}
+
+func TestGB6SectionNames(t *testing.T) {
+	// Geekbench 6 CPU's five sections (Section III).
+	wantSections := []string{"productivity", "developer", "machine learning", "image editing", "image synthesis"}
+	names := strings.Builder{}
+	for _, p := range GB6CPU().Phases {
+		names.WriteString(p.Name + ";")
+	}
+	for _, s := range wantSections {
+		if !strings.Contains(names.String(), s) {
+			t.Errorf("Geekbench 6 CPU missing the %q section", s)
+		}
+	}
+}
+
+func TestPCMarkStorageDemands(t *testing.T) {
+	// Storage 2.0 covers internal/external sequential, random and database
+	// IO (Section III).
+	var seq, rnd, db bool
+	for _, p := range PCMarkStorage().Phases {
+		if p.IO.SeqReadMBs > 0 || p.IO.SeqWriteMBs > 0 {
+			seq = true
+		}
+		if p.IO.RandReadIOPS > 0 || p.IO.RandWriteIOPS > 0 {
+			rnd = true
+		}
+		if p.IO.DatabaseOpsPerSec > 0 {
+			db = true
+		}
+	}
+	if !seq || !rnd || !db {
+		t.Fatalf("PCMark Storage demands incomplete: seq=%v rnd=%v db=%v", seq, rnd, db)
+	}
+}
+
+func TestPCMarkWorkUsesGPUAndAIE(t *testing.T) {
+	// Work's video/photo editing drives shaders (Observation #3) and the
+	// AIE (Observation #5).
+	var hasGPU, hasAIE bool
+	for _, p := range PCMarkWork().Phases {
+		if p.GPU.API != gpu.APINone && p.GPU.WorkPerPixel > 0 {
+			hasGPU = true
+		}
+		if len(p.AIE) > 0 {
+			hasAIE = true
+		}
+	}
+	if !hasGPU || !hasAIE {
+		t.Fatalf("PCMark Work must use GPU and AIE: gpu=%v aie=%v", hasGPU, hasAIE)
+	}
+}
+
+func TestDutyFactorsApplied(t *testing.T) {
+	// Every analysis unit's phases carry absolute duties in [0,1] after
+	// calibration scaling.
+	for _, w := range AnalysisUnits() {
+		for _, p := range w.Phases {
+			if p.CPU.ComputeDuty < 0 || p.CPU.ComputeDuty > 1 {
+				t.Errorf("%s phase %q duty %g outside [0,1]", w.Name, p.Name, p.CPU.ComputeDuty)
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"mobilebench/internal/aie"
+	"mobilebench/internal/gpu"
+)
+
+// 3DMark Android (UL): Sling Shot and Wild Life, each with an Extreme
+// variant. Sling Shot exercises graphics-API features across two graphics
+// tests and a CPU-bound physics test ("measures CPU performance while
+// minimizing the GPU workload... three levels, successively more intensive,
+// highly multi-threaded"). Wild Life is a short Vulkan burst test
+// (~1 minute) mirroring games with short bursts of intense activity; its
+// post-processing uses FFT operations on the AIE.
+
+// Slingshot returns the 3DMark Sling Shot workload (OpenGL ES, Full HD).
+func Slingshot() Workload {
+	return applyDuty(slingshot(NameSlingshot, fullHDW, fullHDH, 1.0, 1.0, 180))
+}
+
+// SlingshotExtreme returns Sling Shot Extreme (higher resolution).
+func SlingshotExtreme() Workload {
+	return applyDuty(slingshot(NameSlingshotExtreme, qhdW, qhdH, 0.55, 1.6, 200))
+}
+
+// slingshot builds either Sling Shot variant. Phase durations stretch from
+// the base (180 s) layout; intensity follows resolution and memScale grows
+// the Extreme variant's texture residency.
+func slingshot(name string, w, h int, intensity, memScale, totalSec float64) Workload {
+	s := totalSec / 180.0
+	return Workload{
+		Name:   name,
+		Suite:  "3DMark v2",
+		Target: TargetGPU,
+		Phases: []Phase{
+			{
+				Name:     "load",
+				Duration: 8 * s,
+				CPU: CPUPhase{
+					Tasks:       singleHeavy(0.75),
+					Mix:         mixDriver(),
+					Access:      accessStreaming(64),
+					Branches:    branchData(),
+					ComputeDuty: 0.5,
+				},
+				Mem: footGraphics(320, 500*memScale),
+			},
+			{
+				Name:     "graphics test 1",
+				Duration: 76 * s,
+				CPU: CPUPhase{
+					Tasks:       driverTasks(1.0 * intensity),
+					Mix:         mixDriver(),
+					Access:      accessDriver(),
+					Branches:    branchData(),
+					ComputeDuty: 1.4,
+				},
+				GPU: sceneGame(gpu.OpenGL, w, h, 4400*intensity, 220, false),
+				Mem: footGraphics(380, 700*memScale),
+			},
+			{
+				Name:     "graphics test 2",
+				Duration: 60 * s,
+				CPU: CPUPhase{
+					Tasks:       driverTasks(1.1 * intensity),
+					Mix:         mixDriver(),
+					Access:      accessDriver(),
+					Branches:    branchData(),
+					ComputeDuty: 1.4,
+				},
+				GPU: sceneGame(gpu.OpenGL, w, h, 5000*intensity, 260, false),
+				Mem: footGraphics(380, 820*memScale),
+			},
+			// The physics test ramps through three successively more
+			// intensive, highly multi-threaded levels with minimal GPU
+			// work — the source of Sling Shot's steep CPU-load increase.
+			{
+				Name:     "physics level 1",
+				Duration: 10 * s,
+				CPU: CPUPhase{
+					Tasks:       append([]TaskSpec{{Count: 1, Demand: 0.85}, {Count: 3, Demand: 0.5}}, bgUI()...),
+					Mix:         mixFloat(),
+					Access:      accessCompute(10),
+					Branches:    branchCompute(),
+					ComputeDuty: 0.5,
+				},
+				GPU: sceneGame(gpu.OpenGL, w, h, 300, 40, false),
+				Mem: footGraphics(420, 520),
+			},
+			{
+				Name:     "physics level 2",
+				Duration: 10 * s,
+				CPU: CPUPhase{
+					Tasks:       append([]TaskSpec{{Count: 1, Demand: 0.9}, {Count: 4, Demand: 0.55}}, bgUI()...),
+					Mix:         mixFloat(),
+					Access:      accessCompute(14),
+					Branches:    branchCompute(),
+					ComputeDuty: 0.5,
+				},
+				GPU: sceneGame(gpu.OpenGL, w, h, 300, 40, false),
+				Mem: footGraphics(440, 520),
+			},
+			{
+				Name:     "physics level 3",
+				Duration: 10 * s,
+				CPU: CPUPhase{
+					Tasks:       append([]TaskSpec{{Count: 1, Demand: 0.95}, {Count: 5, Demand: 0.6}}, bgUI()...),
+					Mix:         mixFloat(),
+					Access:      accessCompute(18),
+					Branches:    branchCompute(),
+					ComputeDuty: 0.5,
+				},
+				GPU: sceneGame(gpu.OpenGL, w, h, 300, 40, false),
+				Mem: footGraphics(460, 520),
+			},
+			{
+				Name:     "results",
+				Duration: 6 * s,
+				CPU: CPUPhase{
+					Tasks:       bgUI(),
+					Mix:         mixBrowse(),
+					Access:      accessUX(6),
+					Branches:    branchWeb(),
+					ComputeDuty: 0.3,
+				},
+				Mem: footGraphics(300, 300),
+			},
+		},
+	}
+}
+
+// WildLife returns 3DMark Wild Life (Vulkan, ~1 minute burst).
+func WildLife() Workload {
+	return applyDuty(wildLife(NameWildLife, fullHDW, fullHDH, 4800, 62, 230, 600))
+}
+
+// WildLifeExtreme returns Wild Life Extreme (4K render target); it records
+// the highest average memory consumption of the studied benchmarks.
+func WildLifeExtreme() Workload {
+	return applyDuty(wildLife(NameWildLifeExtreme, uhdW, uhdH, 1500, 74.44, 250, 1520))
+}
+
+func wildLife(name string, w, h int, wpp float64, totalSec, texMB, gpuMB float64) Workload {
+	load := 6.0
+	post := 0.2 * totalSec
+	scene := totalSec - load - post
+	return Workload{
+		Name:   name,
+		Suite:  "3DMark v2",
+		Target: TargetGPU,
+		Phases: []Phase{
+			{
+				Name:     "load",
+				Duration: load,
+				CPU: CPUPhase{
+					Tasks:       singleHeavy(0.5),
+					Mix:         mixDriver(),
+					Access:      accessStreaming(64),
+					Branches:    branchData(),
+					ComputeDuty: 0.5,
+				},
+				Mem: footGraphics(300, gpuMB*0.5),
+			},
+			{
+				Name:     "scene",
+				Duration: scene,
+				CPU: CPUPhase{
+					Tasks:       driverTasks(0.9),
+					Mix:         mixDriver(),
+					Access:      accessDriver(),
+					Branches:    branchData(),
+					ComputeDuty: 1.0,
+				},
+				GPU: sceneGame(gpu.Vulkan, w, h, wpp, texMB, false),
+				Mem: footGraphics(340, gpuMB),
+			},
+			// Post-processing: FFT-based effects accelerated on the AIE
+			// (Observation #5 names Wild Life's FFT usage explicitly).
+			{
+				Name:     "post-processing",
+				Duration: post,
+				CPU: CPUPhase{
+					Tasks:       driverTasks(0.8),
+					Mix:         mixDriver(),
+					Access:      accessDriver(),
+					Branches:    branchData(),
+					ComputeDuty: 0.9,
+				},
+				GPU: sceneGame(gpu.Vulkan, w, h, wpp*0.85, texMB, false),
+				AIE: aieOps(aieOp(aie.OpFFT, 1.3)),
+				Mem: footGraphics(340, gpuMB),
+			},
+		},
+	}
+}

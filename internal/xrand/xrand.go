@@ -1,0 +1,147 @@
+// Package xrand provides small, fast, deterministic pseudo-random number
+// generators used throughout the simulator.
+//
+// The simulator must be reproducible: the paper averages three runs of every
+// benchmark, and our tests assert calibrated aggregate values, so all
+// randomness flows from explicit seeds rather than from global state.
+// The package implements SplitMix64 (for seeding and cheap splitting) and
+// xoshiro256** (for the main streams), both public-domain algorithms by
+// Blackman and Vigna.
+package xrand
+
+import "math"
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used to derive well-distributed seeds from arbitrary user seeds.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a deterministic xoshiro256** generator. The zero value is not
+// valid; construct with New or Split.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64, as recommended by
+// the xoshiro authors. Distinct seeds give statistically independent streams.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro256** must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Split derives an independent child generator from r and a label.
+// The parent state is unchanged, so components can derive private streams
+// without perturbing each other (e.g. per-benchmark, per-run, per-model).
+func (r *Rand) Split(label uint64) *Rand {
+	mix := r.s[0] ^ rotl(r.s[2], 17) ^ (label * 0xd1342543de82ef95)
+	return New(mix)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	// 53 high-quality bits into the mantissa.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a normally distributed value with mean 0 and
+// standard deviation 1, using the Marsaglia polar method.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Jitter returns base scaled by a factor drawn from N(1, rel) and clamped to
+// stay positive; it models run-to-run measurement noise.
+func (r *Rand) Jitter(base, rel float64) float64 {
+	f := 1 + rel*r.NormFloat64()
+	if f < 0.05 {
+		f = 0.05
+	}
+	return base * f
+}
+
+// Zipf returns a value in [0, n) following an approximate Zipf distribution
+// with exponent s > 0. Small ranks are most likely; it is used to model
+// skewed working-set reuse.
+func (r *Rand) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF approximation via the continuous bounded Pareto.
+	u := r.Float64()
+	if s == 1 {
+		return int(math.Expm1(u*math.Log(float64(n)+1))) % n
+	}
+	one := 1 - s
+	x := math.Pow(u*(math.Pow(float64(n)+1, one)-1)+1, 1/one) - 1
+	k := int(x)
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return k
+}

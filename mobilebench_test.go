@@ -1,0 +1,208 @@
+package mobilebench
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// A small two-benchmark characterization exercises the public API quickly;
+// the full-fidelity reproduction is covered by internal/core's tests and
+// the benches.
+var (
+	apiOnce sync.Once
+	apiVal  *Characterization
+	apiErr  error
+)
+
+func apiDataset(t *testing.T) *Characterization {
+	t.Helper()
+	apiOnce.Do(func() {
+		wl, err := BenchmarkByName("3DMark Wild Life")
+		if err != nil {
+			apiErr = err
+			return
+		}
+		st, err := BenchmarkByName("PCMark Storage")
+		if err != nil {
+			apiErr = err
+			return
+		}
+		apiVal, apiErr = Characterize(Options{Runs: 1, Units: []Workload{wl, st}})
+	})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	return apiVal
+}
+
+func TestRegistry(t *testing.T) {
+	if len(AnalysisUnits()) != 18 {
+		t.Fatalf("analysis units = %d", len(AnalysisUnits()))
+	}
+	if len(Executables()) != 41 {
+		t.Fatalf("executables = %d", len(Executables()))
+	}
+	if _, err := BenchmarkByName("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if Snapdragon888HDK().TotalCores() != 8 {
+		t.Fatal("platform wrong")
+	}
+}
+
+func TestCharacterizeAPI(t *testing.T) {
+	c := apiDataset(t)
+	if len(c.Names()) != 2 {
+		t.Fatalf("names = %v", c.Names())
+	}
+	agg, err := c.Aggregates("3DMark Wild Life")
+	if err != nil || agg.InstrCount <= 0 {
+		t.Fatalf("aggregates: %v %+v", err, agg)
+	}
+	if _, err := c.Aggregates("nope"); err == nil {
+		t.Fatal("unknown aggregate accepted")
+	}
+	tr, err := c.TraceOf("PCMark Storage")
+	if err != nil || tr.Samples == 0 {
+		t.Fatalf("trace: %v", err)
+	}
+	if c.TotalRuntime() <= 0 {
+		t.Fatal("total runtime missing")
+	}
+}
+
+func TestAnalysesOnSmallSet(t *testing.T) {
+	c := apiDataset(t)
+	rows, avg := c.Figure1()
+	if len(rows) != 2 || avg.IC <= 0 {
+		t.Fatalf("figure 1: %v %v", rows, avg)
+	}
+	corr := c.MetricCorrelations()
+	if corr.At("IPC", "IPC") != 1 {
+		t.Fatal("correlation diagonal wrong")
+	}
+	profiles, err := c.TemporalProfiles(50)
+	if err != nil || len(profiles) != 2 {
+		t.Fatalf("temporal: %v", err)
+	}
+	levels, err := c.LoadLevels()
+	if err != nil || len(levels) != 2 {
+		t.Fatalf("load levels: %v", err)
+	}
+	if _, err := c.LoadLevelAverages(); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.Cluster("kmeans", 2)
+	if err != nil || cl.K != 2 {
+		t.Fatalf("cluster: %v", err)
+	}
+	if _, err := c.Cluster("magic", 2); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	agree, _, err := c.ClusteringsAgree(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = agree // two points always agree, but the call must not error
+	if _, err := c.SubsetRepresentativeness([]string{"3DMark Wild Life"}); err != nil {
+		t.Fatal(err)
+	}
+	set, err := c.SubsetUnderBudget(100)
+	if err != nil || len(set.Members) == 0 {
+		t.Fatalf("budget subset: %v", err)
+	}
+}
+
+func TestWriteReportSmoke(t *testing.T) {
+	// WriteReport needs the 5-cluster pipeline, so run it on the full set
+	// at reduced fidelity (runs=1).
+	c, err := Characterize(Options{Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Figure 1", "Table III", "Table V", "Table VI", "observation",
+		"Geekbench 6 CPU", "Select+GPU",
+	} {
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	obs, err := c.Observations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 11 {
+		t.Fatalf("observations = %d", len(obs))
+	}
+}
+
+func TestCustomWorkloadThroughPublicAPI(t *testing.T) {
+	// A downstream user defines a new benchmark purely with the exported
+	// types and characterizes it.
+	custom := Workload{
+		Name:  "my-benchmark",
+		Suite: "custom",
+		Phases: []Phase{{
+			Name:     "compute",
+			Duration: 3,
+			CPU: CPUPhase{
+				Tasks:       []TaskSpec{{Count: 2, Demand: 0.5}},
+				Mix:         InstrMix{LoadStoreFrac: 0.3, BranchFrac: 0.1, BaseILP: 2},
+				ComputeDuty: 0.5,
+			},
+		}},
+	}
+	c, err := Characterize(Options{Runs: 2, Units: []Workload{custom}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := c.Aggregates("my-benchmark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.InstrCount <= 0 || agg.IPC <= 0 {
+		t.Fatalf("custom benchmark produced no counters: %+v", agg)
+	}
+}
+
+func TestRegionsOfInterestAPI(t *testing.T) {
+	c := apiDataset(t)
+	sel, err := c.RegionsOfInterest("3DMark Wild Life", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Intervals) == 0 || sel.Coverage <= 0 || sel.Coverage > 1 {
+		t.Fatalf("bad selection: %+v", sel)
+	}
+	if sel.ReconstructionError() > 0.3 {
+		t.Fatalf("reconstruction error %.1f%%", sel.ReconstructionError()*100)
+	}
+	if _, err := c.RegionsOfInterest("nope", 5); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestEnergyExtensionExposed(t *testing.T) {
+	c := apiDataset(t)
+	agg, err := c.Aggregates("3DMark Wild Life")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.AvgPowerW <= 0 || agg.EnergyJ <= 0 {
+		t.Fatalf("power extension missing from aggregates: %+v", agg)
+	}
+	tr, err := c.TraceOf("3DMark Wild Life")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Series("power.total_w") == nil || tr.Series("thermal.cpu_c") == nil {
+		t.Fatal("power/thermal counters missing from trace")
+	}
+}
