@@ -42,10 +42,26 @@ func benchDataset(b *testing.B) *core.Dataset {
 }
 
 // BenchmarkCharacterizeAll measures the full pipeline the paper's
-// methodology implies: all 18 analysis units, three averaged runs each.
+// methodology implies: all 18 analysis units, three averaged runs each,
+// on the sequential (Workers=1) path.
 func BenchmarkCharacterizeAll(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: 3})
+		ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: 3, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ds.Units) != 18 {
+			b.Fatal("wrong unit count")
+		}
+	}
+}
+
+// BenchmarkCharacterizeAllParallel is the same pipeline with the (unit, run)
+// fan-out across all cores (Workers=0). The speedup over the sequential
+// benchmark is tracked in BENCH_baseline.json.
+func BenchmarkCharacterizeAllParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: 3, Workers: 0})
 		if err != nil {
 			b.Fatal(err)
 		}

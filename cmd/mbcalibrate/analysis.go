@@ -11,8 +11,8 @@ import (
 
 // runAnalysis prints the downstream analyses (correlations, clustering,
 // load levels, subsets, observations) for calibration review.
-func runAnalysis(runs int) {
-	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: runs})
+func runAnalysis(runs, workers int) {
+	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: runs, Workers: workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
 		os.Exit(1)

@@ -13,8 +13,8 @@ import (
 // runFeatures prints the normalized clustering features, the pairwise
 // distance matrix and each benchmark's nearest neighbours — the view used
 // to calibrate the similarity analysis.
-func runFeatures(runs int) {
-	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: runs})
+func runFeatures(runs, workers int) {
+	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: runs, Workers: workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
 		os.Exit(1)

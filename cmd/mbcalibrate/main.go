@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,16 +18,17 @@ import (
 
 func main() {
 	runs := flag.Int("runs", 1, "runs to average per benchmark")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores)")
 	analysis := flag.Bool("analysis", false, "also run the downstream analyses (clustering, subsets, observations)")
 	features := flag.Bool("features", false, "print normalized clustering features and distances")
 	flag.Parse()
 
 	if *analysis {
-		runAnalysis(*runs)
+		runAnalysis(*runs, *workers)
 		return
 	}
 	if *features {
-		runFeatures(*runs)
+		runFeatures(*runs, *workers)
 		return
 	}
 
@@ -39,7 +41,7 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\truntime\tIC(B)\ttargetIC\tdutyFix\tIPC\ttgtIPC\tcMPKI\tbMPKI\tCPU\tGPU\tShad\tBus\tAIE\tMem%\tMemMB\tLload\tMload\tBload")
 	for _, w := range workload.AnalysisUnits() {
-		res, err := eng.RunAveraged(w, *runs)
+		res, err := eng.RunAveragedContext(context.Background(), w, *runs, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
 			os.Exit(1)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mbchar [-runs N] [-csv] [-correlation] [-observations]
+//	mbchar [-runs N] [-workers N] [-csv] [-correlation] [-observations]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"mobilebench/internal/core"
+	"mobilebench/internal/par"
 	"mobilebench/internal/report"
 	"mobilebench/internal/sim"
 )
@@ -20,12 +21,17 @@ import (
 func main() {
 	runs := flag.Int("runs", 3, "runs to average per benchmark")
 	seed := flag.Uint64("seed", 0, "simulation seed (0 = default)")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores)")
+	verbose := flag.Bool("verbose", false, "print execution details")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	correlation := flag.Bool("correlation", false, "print only Table III")
 	observations := flag.Bool("observations", false, "print only the observation checks")
 	flag.Parse()
 
-	ds, err := core.Collect(core.Options{Sim: sim.Config{Seed: *seed}, Runs: *runs})
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "mbchar: characterizing with %d workers\n", par.Workers(*workers))
+	}
+	ds, err := core.Collect(core.Options{Sim: sim.Config{Seed: *seed}, Runs: *runs, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

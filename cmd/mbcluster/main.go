@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mbcluster [-runs N] [-k K] [-validate] [-kmeans|-pam]
+//	mbcluster [-runs N] [-workers N] [-k K] [-validate] [-kmeans|-pam]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 
 	"mobilebench/internal/cluster"
 	"mobilebench/internal/core"
+	"mobilebench/internal/par"
 	"mobilebench/internal/report"
 	"mobilebench/internal/sim"
 )
@@ -21,12 +22,17 @@ import (
 func main() {
 	runs := flag.Int("runs", 3, "runs to average per benchmark")
 	k := flag.Int("k", 5, "number of clusters")
+	workers := flag.Int("workers", 0, "simulation/sweep worker goroutines (0 = all cores)")
+	verbose := flag.Bool("verbose", false, "print execution details")
 	validate := flag.Bool("validate", false, "print the Figure 4 validation sweep")
 	kmeans := flag.Bool("kmeans", false, "print only the K-means clustering (Figure 6)")
 	pam := flag.Bool("pam", false, "print only the PAM clustering")
 	flag.Parse()
 
-	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: *runs})
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "mbcluster: characterizing with %d workers\n", par.Workers(*workers))
+	}
+	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: *runs, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

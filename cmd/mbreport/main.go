@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mbreport [-runs N] [-o FILE]
+//	mbreport [-runs N] [-workers N] [-o FILE]
 package main
 
 import (
@@ -18,10 +18,11 @@ import (
 
 func main() {
 	runs := flag.Int("runs", 3, "runs to average per benchmark")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	flag.Parse()
 
-	c, err := mobilebench.Characterize(mobilebench.Options{Runs: *runs})
+	c, err := mobilebench.Characterize(mobilebench.Options{Runs: *runs, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -4,15 +4,17 @@
 //
 // Usage:
 //
-//	mbsim -bench "3DMark Wild Life" [-runs N] [-csv] [-list]
+//	mbsim -bench "3DMark Wild Life" [-runs N] [-workers N] [-csv] [-list]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"mobilebench/internal/par"
 	"mobilebench/internal/roi"
 	"mobilebench/internal/sim"
 	"mobilebench/internal/workload"
@@ -21,6 +23,8 @@ import (
 func main() {
 	bench := flag.String("bench", "", "benchmark name (analysis unit or executable)")
 	runs := flag.Int("runs", 1, "runs to average")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores)")
+	verbose := flag.Bool("verbose", false, "print execution details")
 	csv := flag.Bool("csv", false, "dump the full counter trace as CSV")
 	list := flag.Bool("list", false, "list available benchmarks")
 	roiWindow := flag.Float64("roi", 0, "select representative regions of interest with this window length (seconds)")
@@ -53,7 +57,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := eng.RunAveraged(w, *runs)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "mbsim: %d runs across %d workers\n", *runs, par.Workers(*workers))
+	}
+	res, err := eng.RunAveragedContext(context.Background(), w, *runs, *workers)
 	if err != nil {
 		fatal(err)
 	}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mbsubset [-runs N] [-curve] [-budget SECONDS]
+//	mbsubset [-runs N] [-workers N] [-curve] [-budget SECONDS]
 package main
 
 import (
@@ -21,11 +21,12 @@ import (
 
 func main() {
 	runs := flag.Int("runs", 3, "runs to average per benchmark")
+	workers := flag.Int("workers", 0, "simulation/curve worker goroutines (0 = all cores)")
 	curve := flag.Bool("curve", false, "print the Figure 7 growth curves")
 	budget := flag.Float64("budget", 0, "select a subset under this runtime budget (seconds)")
 	flag.Parse()
 
-	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: *runs})
+	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: *runs, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mbtrace [-runs N] [-samples N] [-clusters] [-bench NAME]
+//	mbtrace [-runs N] [-workers N] [-samples N] [-clusters] [-bench NAME]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 
 func main() {
 	runs := flag.Int("runs", 3, "runs to average per benchmark")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores)")
 	samples := flag.Int("samples", 100, "normalized-time resolution")
 	clusters := flag.Bool("clusters", false, "print Figure 3 / Table V instead of Figure 2")
 	bench := flag.String("bench", "", "limit to one benchmark (analysis-unit name)")
@@ -33,7 +34,7 @@ func main() {
 		}
 		units = []workload.Workload{w}
 	}
-	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: *runs, Units: units})
+	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: *runs, Units: units, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

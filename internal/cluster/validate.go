@@ -1,8 +1,11 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"mobilebench/internal/par"
 )
 
 // Internal validation ---------------------------------------------------
@@ -113,23 +116,30 @@ func proportionNonOverlap(full, reduced Assignment) float64 {
 	n := len(full)
 	total := 0.0
 	for i := 0; i < n; i++ {
-		cf := memberSet(full, full[i])
-		cr := memberSet(reduced, reduced[i])
-		inter := 0
-		for m := range cf {
-			if cr[m] {
-				inter++
+		cf := memberMask(full, full[i])
+		cr := memberMask(reduced, reduced[i])
+		inter, size := 0, 0
+		for m := 0; m < n; m++ {
+			if cf[m] {
+				size++
+				if cr[m] {
+					inter++
+				}
 			}
 		}
-		if len(cf) > 0 {
-			total += 1 - float64(inter)/float64(len(cf))
+		if size > 0 {
+			total += 1 - float64(inter)/float64(size)
 		}
 	}
 	return total / float64(n)
 }
 
-func memberSet(a Assignment, c int) map[int]bool {
-	out := make(map[int]bool)
+// memberMask returns cluster c's membership as an index-ordered mask.
+// Ordered iteration matters: accumulating distances in Go's randomized map
+// order perturbs the sums by ULPs from run to run, which breaks the
+// pipeline's bit-for-bit determinism guarantee.
+func memberMask(a Assignment, c int) []bool {
+	out := make([]bool, len(a))
 	for i, ci := range a {
 		if ci == c {
 			out[i] = true
@@ -154,11 +164,11 @@ func AD(alg Algorithm, rows [][]float64, k int, full Assignment) (float64, error
 		}
 		sum := 0.0
 		for i := 0; i < n; i++ {
-			cf := memberSet(full, full[i])
-			cr := memberSet(reduced, reduced[i])
+			cf := memberMask(full, full[i])
+			cr := memberMask(reduced, reduced[i])
 			cnt, acc := 0, 0.0
-			for m := range cf {
-				if cr[m] {
+			for m := 0; m < n; m++ {
+				if cf[m] && cr[m] {
 					acc += d[i][m]
 					cnt++
 				}
@@ -184,39 +194,57 @@ type Scores struct {
 	AD         float64
 }
 
-// Sweep runs every algorithm over k = kMin..kMax and returns all scores,
-// reproducing the paper's Figure 4 analysis.
+// Sweep runs every algorithm over k = kMin..kMax sequentially and returns
+// all scores, reproducing the paper's Figure 4 analysis.
 func Sweep(algs []Algorithm, rows [][]float64, kMin, kMax int) ([]Scores, error) {
+	return SweepContext(context.Background(), algs, rows, kMin, kMax, 1)
+}
+
+// SweepContext is Sweep with cancellation and a worker pool: each
+// (algorithm, k) pair — a full clustering plus its APN/AD stability
+// re-clusterings — is an independent job, and scores land in the same
+// deterministic order the sequential sweep emits. The algorithms must be
+// safe for concurrent use (the package's three are: Cluster derives all
+// mutable state, including seeded RNGs, per call). workers <= 0 selects
+// all CPUs.
+func SweepContext(ctx context.Context, algs []Algorithm, rows [][]float64, kMin, kMax, workers int) ([]Scores, error) {
 	if kMin < 2 {
 		return nil, fmt.Errorf("cluster: sweep needs kMin >= 2")
 	}
 	if kMax >= len(rows) {
 		kMax = len(rows) - 1
 	}
-	var out []Scores
-	for _, alg := range algs {
-		for k := kMin; k <= kMax; k++ {
-			a, err := alg.Cluster(rows, k)
-			if err != nil {
-				return nil, err
-			}
-			apn, err := APN(alg, rows, k, a)
-			if err != nil {
-				return nil, err
-			}
-			ad, err := AD(alg, rows, k, a)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Scores{
-				Algorithm:  alg.Name(),
-				K:          k,
-				Dunn:       Dunn(rows, a),
-				Silhouette: Silhouette(rows, a),
-				APN:        apn,
-				AD:         ad,
-			})
+	nk := kMax - kMin + 1
+	if nk <= 0 || len(algs) == 0 {
+		return nil, ctx.Err()
+	}
+	out := make([]Scores, len(algs)*nk)
+	err := par.ForEach(ctx, workers, len(out), func(_ context.Context, j int) error {
+		alg, k := algs[j/nk], kMin+j%nk
+		a, err := alg.Cluster(rows, k)
+		if err != nil {
+			return err
 		}
+		apn, err := APN(alg, rows, k, a)
+		if err != nil {
+			return err
+		}
+		ad, err := AD(alg, rows, k, a)
+		if err != nil {
+			return err
+		}
+		out[j] = Scores{
+			Algorithm:  alg.Name(),
+			K:          k,
+			Dunn:       Dunn(rows, a),
+			Silhouette: Silhouette(rows, a),
+			APN:        apn,
+			AD:         ad,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,7 +1,10 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -156,5 +159,29 @@ func TestProportionNonOverlap(t *testing.T) {
 	flipped := Assignment{0, 1, 0, 1}
 	if p := proportionNonOverlap(full, flipped); p != 0.5 {
 		t.Fatalf("half-overlap = %g, want 0.5", p)
+	}
+}
+
+func TestSweepContextMatchesSequential(t *testing.T) {
+	seq, err := Sweep(algorithms(), blobs(), 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		got, err := SweepContext(context.Background(), algorithms(), blobs(), 2, 6, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, seq) {
+			t.Fatalf("workers=%d: parallel sweep differs from sequential", workers)
+		}
+	}
+}
+
+func TestSweepContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SweepContext(ctx, algorithms(), blobs(), 2, 6, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

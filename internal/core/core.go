@@ -8,8 +8,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"mobilebench/internal/par"
 	"mobilebench/internal/profiler"
 	"mobilebench/internal/sim"
 	"mobilebench/internal/workload"
@@ -25,6 +27,12 @@ type Options struct {
 	Runs int
 	// Units overrides the benchmark list (default: the 18 analysis units).
 	Units []workload.Workload
+	// Workers bounds the goroutines simulating (unit, run) pairs and the
+	// downstream figure sweeps: <= 0 selects one per CPU, 1 forces the
+	// sequential path. Any value produces a bit-identical Dataset — every
+	// pair owns an independent random stream and results are merged in
+	// deterministic (unit, run) order.
+	Workers int
 }
 
 // Unit is one characterized benchmark.
@@ -43,10 +51,24 @@ type Dataset struct {
 	Units []Unit
 	// Runs is how many runs were averaged per unit.
 	Runs int
+	// Workers is the parallelism Collect used; figure sweeps reuse it
+	// (<= 0 means one worker per CPU).
+	Workers int
+	// index maps unit name to Units offset (nil on hand-built datasets,
+	// which fall back to a linear scan).
+	index map[string]int
 }
 
 // Collect runs every unit through the simulator and assembles the dataset.
 func Collect(opts Options) (*Dataset, error) {
+	return CollectContext(context.Background(), opts)
+}
+
+// CollectContext is Collect with cancellation. All units x runs simulations
+// fan out over the Options.Workers pool as independent jobs; the first
+// failure cancels the remaining jobs promptly. Results are merged in
+// (unit, run) order, so the Dataset is identical for any worker count.
+func CollectContext(ctx context.Context, opts Options) (*Dataset, error) {
 	runs := opts.Runs
 	if runs <= 0 {
 		runs = 3
@@ -59,16 +81,45 @@ func Collect(opts Options) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	ds := &Dataset{Runs: runs}
-	for _, w := range units {
-		res, err := eng.RunAveraged(w, runs)
+	ds := &Dataset{Runs: runs, Workers: opts.Workers}
+
+	// One job per (unit, run) pair rather than per unit: with 18 units the
+	// longest unit would otherwise bound the tail; 54 jobs keep every core
+	// busy until the end.
+	results := make([][]*sim.Result, len(units))
+	for i := range results {
+		results[i] = make([]*sim.Result, runs)
+	}
+	err = par.ForEach(ctx, opts.Workers, len(units)*runs, func(ctx context.Context, j int) error {
+		ui, r := j/runs, j%runs
+		res, err := eng.RunContext(ctx, units[ui], r)
+		if err != nil {
+			return fmt.Errorf("core: characterizing %s: %w", units[ui].Name, err)
+		}
+		results[ui][r] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range units {
+		res, err := sim.AverageResults(w.Name, results[i])
 		if err != nil {
 			return nil, fmt.Errorf("core: characterizing %s: %w", w.Name, err)
 		}
 		t, _ := workload.TargetFor(w.Name)
 		ds.Units = append(ds.Units, Unit{Workload: w, Agg: res.Agg, Trace: res.Trace, Target: t})
 	}
+	ds.buildIndex()
 	return ds, nil
+}
+
+// buildIndex (re)builds the name -> offset map consulted by Unit.
+func (d *Dataset) buildIndex() {
+	d.index = make(map[string]int, len(d.Units))
+	for i, u := range d.Units {
+		d.index[u.Workload.Name] = i
+	}
 }
 
 // Names returns unit names in dataset order.
@@ -80,8 +131,16 @@ func (d *Dataset) Names() []string {
 	return out
 }
 
-// Unit returns the named unit.
+// Unit returns the named unit. Datasets assembled by Collect resolve the
+// name through an index built once (every figure and report path funnels
+// through here); hand-built datasets fall back to a linear scan.
 func (d *Dataset) Unit(name string) (Unit, error) {
+	if d.index != nil {
+		if i, ok := d.index[name]; ok {
+			return d.Units[i], nil
+		}
+		return Unit{}, fmt.Errorf("core: dataset has no unit %q", name)
+	}
 	for _, u := range d.Units {
 		if u.Workload.Name == name {
 			return u, nil

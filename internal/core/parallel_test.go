@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"mobilebench/internal/sim"
+	"mobilebench/internal/workload"
+)
+
+// shortUnits returns the three shortest analysis units — enough workloads
+// to exercise the (unit, run) fan-out without paying for the full suite.
+func shortUnits() []workload.Workload {
+	units := workload.AnalysisUnits()
+	sort.Slice(units, func(i, j int) bool { return units[i].Duration() < units[j].Duration() })
+	return units[:3]
+}
+
+// TestCollectParallelDeterminism is the tentpole guarantee: a parallel
+// collection is deep-equal to the sequential one, because every (unit, run)
+// pair owns an independent random stream and merging is ordered.
+func TestCollectParallelDeterminism(t *testing.T) {
+	units := shortUnits()
+	for _, seed := range []uint64{888, 20240501} {
+		seq, err := CollectContext(context.Background(), Options{
+			Sim: sim.Config{Seed: seed}, Runs: 2, Units: units, Workers: 1,
+		})
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		par8, err := CollectContext(context.Background(), Options{
+			Sim: sim.Config{Seed: seed}, Runs: 2, Units: units, Workers: 8,
+		})
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		if !reflect.DeepEqual(seq.Units, par8.Units) {
+			t.Fatalf("seed %d: Workers=8 dataset differs from Workers=1", seed)
+		}
+		if seq.Runs != par8.Runs {
+			t.Fatalf("seed %d: runs differ", seed)
+		}
+	}
+}
+
+func TestCollectContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := CollectContext(ctx, Options{Sim: sim.Config{}, Runs: 3, Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The full collection takes tens of seconds; a cancelled one must not
+	// simulate anything.
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("pre-cancelled collect took %v", d)
+	}
+}
+
+func TestCollectContextCancelMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err := CollectContext(ctx, Options{Sim: sim.Config{}, Runs: 3, Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDatasetUnitIndex(t *testing.T) {
+	d, err := CollectContext(context.Background(), Options{
+		Sim: sim.Config{}, Runs: 1, Units: shortUnits(), Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range d.Units {
+		got, err := d.Unit(u.Workload.Name)
+		if err != nil {
+			t.Fatalf("indexed lookup %q: %v", u.Workload.Name, err)
+		}
+		if got.Workload.Name != u.Workload.Name {
+			t.Fatalf("lookup %q returned %q", u.Workload.Name, got.Workload.Name)
+		}
+	}
+	if _, err := d.Unit("nope"); err == nil {
+		t.Fatal("unknown unit accepted by indexed lookup")
+	}
+	// Hand-built datasets (no index) must still resolve via the fallback.
+	hand := &Dataset{Units: d.Units, Runs: d.Runs}
+	if _, err := hand.Unit(d.Units[0].Workload.Name); err != nil {
+		t.Fatalf("fallback lookup: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mobilebench/internal/cluster"
@@ -29,9 +30,15 @@ func (d *Dataset) NormalizedFeatures() [][]float64 {
 }
 
 // Figure4 sweeps cluster counts kMin..kMax over the three algorithms and
-// returns the validation scores.
+// returns the validation scores. The (algorithm, k) jobs fan out over the
+// dataset's worker pool.
 func (d *Dataset) Figure4(kMin, kMax int) ([]cluster.Scores, error) {
-	return cluster.Sweep(Algorithms(), d.NormalizedFeatures(), kMin, kMax)
+	return d.Figure4Context(context.Background(), kMin, kMax)
+}
+
+// Figure4Context is Figure4 with cancellation.
+func (d *Dataset) Figure4Context(ctx context.Context, kMin, kMax int) ([]cluster.Scores, error) {
+	return cluster.SweepContext(ctx, Algorithms(), d.NormalizedFeatures(), kMin, kMax, d.Workers)
 }
 
 // OptimalK aggregates a Figure 4 sweep into the winning cluster count.

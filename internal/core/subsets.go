@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"mobilebench/internal/cluster"
 	"mobilebench/internal/stats"
 	"mobilebench/internal/subset"
@@ -83,8 +85,15 @@ func (d *Dataset) TableVI() ([]subset.Reduction, error) {
 	return subset.Reductions(d.SubsetBenchmarks(), sets)
 }
 
-// Figure7 computes the growth curves of the three subsets.
+// Figure7 computes the growth curves of the three subsets. Each curve's
+// points are independent prefix evaluations, so they fan out over the
+// dataset's worker pool.
 func (d *Dataset) Figure7() (map[string][]subset.CurvePoint, error) {
+	return d.Figure7Context(context.Background())
+}
+
+// Figure7Context is Figure7 with cancellation.
+func (d *Dataset) Figure7Context(ctx context.Context) (map[string][]subset.CurvePoint, error) {
 	fig5, _, err := d.Figure5()
 	if err != nil {
 		return nil, err
@@ -96,7 +105,7 @@ func (d *Dataset) Figure7() (map[string][]subset.CurvePoint, error) {
 	bs := d.SubsetBenchmarks()
 	out := make(map[string][]subset.CurvePoint)
 	for _, s := range []subset.Set{naive, d.SelectSet(), d.SelectPlusGPUSet()} {
-		curve, err := subset.GrowthCurve(bs, s)
+		curve, err := subset.GrowthCurveContext(ctx, bs, s, d.Workers)
 		if err != nil {
 			return nil, err
 		}

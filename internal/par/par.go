@@ -1,0 +1,100 @@
+// Package par provides the deterministic fan-out primitive used to
+// parallelize the characterization pipeline.
+//
+// Every parallel loop in the repository has the same shape: n independent
+// jobs whose results are written into pre-sized slices indexed by job
+// number, so the merged output is identical regardless of scheduling order.
+// Determinism therefore never depends on goroutine interleaving — only on
+// the job index — which is what lets Collect(Workers: N) produce a Dataset
+// deep-equal to the sequential build.
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count option: values <= 0 select one worker
+// per available CPU (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) across at most workers
+// goroutines (workers <= 0 selects all CPUs). Jobs are claimed from a
+// shared counter, so scheduling order is unspecified; callers must make
+// each job independent and write its result into a slot indexed by i.
+//
+// On the first job error the shared context is cancelled so in-flight
+// sibling jobs can abort and unstarted jobs are skipped. The returned
+// error is the lowest-indexed non-cancellation error (the root cause),
+// falling back to the first cancellation error when the parent context
+// was cancelled. workers == 1 degrades to a plain sequential loop on the
+// caller's goroutine.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if err := cctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := fn(cctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	return firstErr
+}

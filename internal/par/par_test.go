@@ -1,0 +1,92 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got < 1 {
+		t.Fatalf("Workers(0) = %d, want >= 1", got)
+	}
+	if got := Workers(-3); got != Workers(0) {
+		t.Fatalf("Workers(-3) = %d, want %d", got, Workers(0))
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 100
+		hits := make([]int64, n)
+		err := ForEach(context.Background(), workers, n, func(_ context.Context, i int) error {
+			atomic.AddInt64(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsRootCauseError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 50, func(ctx context.Context, i int) error {
+			if i == 7 {
+				return fmt.Errorf("job %d: %w", i, boom)
+			}
+			return ctx.Err()
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+}
+
+func TestForEachPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int64(0)
+	err := ForEach(ctx, 4, 1000, func(context.Context, int) error {
+		atomic.AddInt64(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d jobs ran on a pre-cancelled context", ran)
+	}
+}
+
+func TestForEachCancelsSiblings(t *testing.T) {
+	boom := errors.New("boom")
+	started := int64(0)
+	err := ForEach(context.Background(), 2, 1000, func(ctx context.Context, i int) error {
+		atomic.AddInt64(&started, 1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if started >= 1000 {
+		t.Fatalf("all %d jobs ran despite cancellation", started)
+	}
+}
+
+func TestForEachZeroJobs(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, nil); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+}

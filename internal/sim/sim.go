@@ -13,6 +13,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 
@@ -22,6 +23,7 @@ import (
 	"mobilebench/internal/cpu"
 	"mobilebench/internal/gpu"
 	"mobilebench/internal/mem"
+	"mobilebench/internal/par"
 	"mobilebench/internal/power"
 	"mobilebench/internal/profiler"
 	"mobilebench/internal/sched"
@@ -111,6 +113,13 @@ func (c Config) normalize() Config {
 }
 
 // Engine executes workloads.
+//
+// An Engine is safe for concurrent use: Run builds all mutable simulation
+// state (caches, predictors, scheduler, governor, power/thermal/GPU/AIE
+// models, profiler and RNG streams) afresh per invocation, and only reads
+// the immutable configuration and platform description. Each (workload,
+// run) pair derives an independent random stream from the root seed, so
+// concurrent runs produce bit-identical results to sequential ones.
 type Engine struct {
 	cfg  Config
 	plat *soc.Platform
@@ -198,6 +207,19 @@ type clusterState struct {
 // paper runs each benchmark three times); distinct runs get independent
 // random streams and jitter.
 func (e *Engine) Run(w workload.Workload, run int) (*Result, error) {
+	return e.RunContext(context.Background(), w, run)
+}
+
+// ctxCheckTicks is how often (in ticks) RunContext polls for cancellation.
+const ctxCheckTicks = 64
+
+// RunContext is Run with cancellation: the context is polled every
+// ctxCheckTicks simulation ticks, so a cancelled run aborts within a few
+// microseconds instead of completing the workload.
+func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -272,6 +294,11 @@ func (e *Engine) Run(w workload.Workload, run int) (*Result, error) {
 	agg.Name = w.Name
 
 	for tick := 0; tick < ticks; tick++ {
+		if tick%ctxCheckTicks == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		t := (float64(tick) + 0.5) * cfg.TickSec
 		phase, _ := jw.PhaseAt(t)
 		phaseIdx := phaseIndexAt(jw, t)
@@ -586,22 +613,51 @@ func (e *Engine) sampleMissProfile(cs *clusterState, cp workload.CPUPhase, rng *
 	return miss
 }
 
-// RunAveraged executes runs repetitions and returns the averaged trace and
-// aggregates (the paper's methodology: three runs, metrics averaged).
+// RunAveraged executes runs repetitions sequentially and returns the
+// averaged trace and aggregates (the paper's methodology: three runs,
+// metrics averaged).
 func (e *Engine) RunAveraged(w workload.Workload, runs int) (*Result, error) {
+	return e.RunAveragedContext(context.Background(), w, runs, 1)
+}
+
+// RunAveragedContext is RunAveraged with cancellation and a worker pool:
+// the runs repetitions fan out over up to workers goroutines (workers <= 0
+// selects all CPUs; 1 keeps the sequential path). Because every run owns an
+// independent random stream, the merged result is bit-identical for any
+// worker count: runs are averaged in run order regardless of completion
+// order.
+func (e *Engine) RunAveragedContext(ctx context.Context, w workload.Workload, runs, workers int) (*Result, error) {
 	if runs < 1 {
 		runs = 1
 	}
-	results := make([]*Result, 0, runs)
-	for r := 0; r < runs; r++ {
-		res, err := e.Run(w, r)
+	results := make([]*Result, runs)
+	err := par.ForEach(ctx, workers, runs, func(ctx context.Context, r int) error {
+		res, err := e.RunContext(ctx, w, r)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		results = append(results, res)
+		results[r] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return AverageResults(w.Name, results)
+}
+
+// AverageResults merges per-run results (ordered by run index) into the
+// run-averaged result: traces are averaged sample-wise, aggregates are
+// folded in run order. The fold order is fixed so that parallel collection
+// paths reproduce the sequential result exactly.
+func AverageResults(name string, results []*Result) (*Result, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("sim: no results to average for %s", name)
 	}
 	traces := make([]*profiler.Trace, len(results))
 	for i, r := range results {
+		if r == nil {
+			return nil, fmt.Errorf("sim: missing run %d result for %s", i, name)
+		}
 		traces[i] = r.Trace
 	}
 	mean, err := profiler.MeanTraces(traces)
@@ -613,8 +669,8 @@ func (e *Engine) RunAveraged(w workload.Workload, runs int) (*Result, error) {
 		agg = addAgg(agg, r.Agg)
 	}
 	agg = scaleAgg(agg, 1/float64(len(results)))
-	agg.Name = w.Name
-	return &Result{Workload: w.Name, Trace: mean, Agg: agg}, nil
+	agg.Name = name
+	return &Result{Workload: name, Trace: mean, Agg: agg}, nil
 }
 
 func addAgg(a, b Aggregates) Aggregates {

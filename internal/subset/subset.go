@@ -6,10 +6,12 @@
 package subset
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"mobilebench/internal/cluster"
+	"mobilebench/internal/par"
 	"mobilebench/internal/stats"
 )
 
@@ -167,29 +169,37 @@ type CurvePoint struct {
 // recording the representativeness at each step — the paper's Figure 7
 // procedure.
 func GrowthCurve(bs []Benchmark, s Set) ([]CurvePoint, error) {
-	var cur []string
-	var out []CurvePoint
-	add := func(name string) error {
-		cur = append(cur, name)
-		d, err := TotalMinDistance(bs, cur)
-		if err != nil {
-			return err
-		}
-		out = append(out, CurvePoint{N: len(cur), Added: name, Distance: d})
-		return nil
-	}
-	for _, m := range s.Members {
-		if err := add(m); err != nil {
-			return nil, err
-		}
-	}
+	return GrowthCurveContext(context.Background(), bs, s, 1)
+}
+
+// GrowthCurveContext is GrowthCurve with cancellation and a worker pool.
+// The addition order is fixed up front (set members, then the remaining
+// benchmarks in input order), so each curve point i depends only on the
+// prefix of the first i+1 names and all points are computed as independent
+// jobs — the curve is identical for any worker count. workers <= 0 selects
+// all CPUs.
+func GrowthCurveContext(ctx context.Context, bs []Benchmark, s Set, workers int) ([]CurvePoint, error) {
+	order := append([]string(nil), s.Members...)
 	for _, b := range bs {
 		if s.Contains(b.Name) {
 			continue
 		}
-		if err := add(b.Name); err != nil {
-			return nil, err
+		order = append(order, b.Name)
+	}
+	if len(order) == 0 {
+		return nil, ctx.Err()
+	}
+	out := make([]CurvePoint, len(order))
+	err := par.ForEach(ctx, workers, len(order), func(_ context.Context, i int) error {
+		d, err := TotalMinDistance(bs, order[:i+1])
+		if err != nil {
+			return err
 		}
+		out[i] = CurvePoint{N: i + 1, Added: order[i], Distance: d}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

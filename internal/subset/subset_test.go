@@ -1,7 +1,9 @@
 package subset
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"testing"
 
 	"mobilebench/internal/cluster"
@@ -226,6 +228,30 @@ func TestSimulationCost(t *testing.T) {
 		t.Fatal("zero slowdown accepted")
 	}
 	if _, err := SimulationCost(testBenchmarks(), []string{"zz"}, 10); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+}
+
+func TestGrowthCurveContextMatchesSequential(t *testing.T) {
+	s := Set{Name: "test", Members: []string{"e", "a"}}
+	seq, err := GrowthCurve(testBenchmarks(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		got, err := GrowthCurveContext(context.Background(), testBenchmarks(), s, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, seq) {
+			t.Fatalf("workers=%d: parallel curve differs from sequential", workers)
+		}
+	}
+}
+
+func TestGrowthCurveContextUnknownMember(t *testing.T) {
+	s := Set{Name: "bad", Members: []string{"nope"}}
+	if _, err := GrowthCurveContext(context.Background(), testBenchmarks(), s, 4); err == nil {
 		t.Fatal("unknown member accepted")
 	}
 }

@@ -26,6 +26,7 @@
 package mobilebench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -147,6 +148,12 @@ type Options struct {
 	TickSec float64
 	// Units overrides the benchmark set (default: the 18 analysis units).
 	Units []Workload
+	// Workers bounds the parallelism of the simulation fan-out and the
+	// figure sweeps: <= 0 selects one worker per CPU (the default), 1
+	// forces fully sequential execution. Every (benchmark, run) pair
+	// derives an independent random stream, so the result is bit-identical
+	// for any worker count.
+	Workers int
 }
 
 // Characterization is the analysed dataset; all of the paper's tables,
@@ -158,14 +165,22 @@ type Characterization struct {
 // Characterize runs the benchmarks on the simulated platform and returns
 // the analysed dataset.
 func Characterize(opts Options) (*Characterization, error) {
-	ds, err := core.Collect(core.Options{
+	return CharacterizeContext(context.Background(), opts)
+}
+
+// CharacterizeContext is Characterize with cancellation: cancelling the
+// context aborts the in-flight simulations promptly instead of letting the
+// remaining (benchmark, run) jobs complete.
+func CharacterizeContext(ctx context.Context, opts Options) (*Characterization, error) {
+	ds, err := core.CollectContext(ctx, core.Options{
 		Sim: sim.Config{
 			Platform: opts.Platform,
 			Seed:     opts.Seed,
 			TickSec:  opts.TickSec,
 		},
-		Runs:  opts.Runs,
-		Units: opts.Units,
+		Runs:    opts.Runs,
+		Units:   opts.Units,
+		Workers: opts.Workers,
 	})
 	if err != nil {
 		return nil, err
