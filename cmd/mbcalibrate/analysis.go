@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 
+	"mobilebench/internal/cliflag"
 	"mobilebench/internal/core"
 	"mobilebench/internal/sim"
 	"mobilebench/internal/soc"
@@ -11,12 +12,23 @@ import (
 
 // runAnalysis prints the downstream analyses (correlations, clustering,
 // load levels, subsets, observations) for calibration review.
-func runAnalysis(runs, workers int) {
-	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: runs, Workers: workers})
+func runAnalysis(runs, workers int, rf *cliflag.Resilience) {
+	inj, err := rf.Injector()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
 		os.Exit(1)
 	}
+	ds, err := core.Collect(core.Options{
+		Sim:        sim.Config{Fault: inj},
+		Runs:       runs,
+		Workers:    workers,
+		Resilience: rf.Policy(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
+		os.Exit(1)
+	}
+	cliflag.WarnDegraded("mbcalibrate", ds)
 
 	fmt.Println("== Table III correlations ==")
 	t3 := ds.TableIII()

@@ -5,6 +5,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"mobilebench/internal/cliflag"
 	"mobilebench/internal/cluster"
 	"mobilebench/internal/core"
 	"mobilebench/internal/sim"
@@ -13,12 +14,23 @@ import (
 // runFeatures prints the normalized clustering features, the pairwise
 // distance matrix and each benchmark's nearest neighbours — the view used
 // to calibrate the similarity analysis.
-func runFeatures(runs, workers int) {
-	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: runs, Workers: workers})
+func runFeatures(runs, workers int, rf *cliflag.Resilience) {
+	inj, err := rf.Injector()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
 		os.Exit(1)
 	}
+	ds, err := core.Collect(core.Options{
+		Sim:        sim.Config{Fault: inj},
+		Runs:       runs,
+		Workers:    workers,
+		Resilience: rf.Policy(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
+		os.Exit(1)
+	}
+	cliflag.WarnDegraded("mbcalibrate", ds)
 	rows := ds.NormalizedFeatures()
 	names := ds.Names()
 

@@ -12,6 +12,8 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"mobilebench/internal/cliflag"
+	"mobilebench/internal/core"
 	"mobilebench/internal/sim"
 	"mobilebench/internal/workload"
 )
@@ -21,18 +23,24 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores)")
 	analysis := flag.Bool("analysis", false, "also run the downstream analyses (clustering, subsets, observations)")
 	features := flag.Bool("features", false, "print normalized clustering features and distances")
+	rf := cliflag.RegisterResilience()
 	flag.Parse()
 
 	if *analysis {
-		runAnalysis(*runs, *workers)
+		runAnalysis(*runs, *workers, rf)
 		return
 	}
 	if *features {
-		runFeatures(*runs, *workers)
+		runFeatures(*runs, *workers, rf)
 		return
 	}
 
-	eng, err := sim.New(sim.Config{})
+	inj, err := rf.Injector()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
+		os.Exit(1)
+	}
+	eng, err := sim.New(sim.Config{Fault: inj})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
 		os.Exit(1)
@@ -41,10 +49,13 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\truntime\tIC(B)\ttargetIC\tdutyFix\tIPC\ttgtIPC\tcMPKI\tbMPKI\tCPU\tGPU\tShad\tBus\tAIE\tMem%\tMemMB\tLload\tMload\tBload")
 	for _, w := range workload.AnalysisUnits() {
-		res, err := eng.RunAveragedContext(context.Background(), w, *runs, *workers)
+		res, prov, err := core.RunAveragedResilient(context.Background(), eng, w, *runs, *workers, rf.Policy())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
 			os.Exit(1)
+		}
+		if prov.Degraded() {
+			fmt.Fprintf(os.Stderr, "mbcalibrate: warning: %s\n", prov)
 		}
 		a := res.Agg
 		t, _ := workload.TargetFor(w.Name)

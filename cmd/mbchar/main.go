@@ -5,6 +5,8 @@
 // Usage:
 //
 //	mbchar [-runs N] [-workers N] [-csv] [-correlation] [-observations]
+//	       [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
+//	       [-inject SPEC]
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"mobilebench/internal/cliflag"
 	"mobilebench/internal/core"
 	"mobilebench/internal/par"
 	"mobilebench/internal/report"
@@ -26,15 +29,26 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	correlation := flag.Bool("correlation", false, "print only Table III")
 	observations := flag.Bool("observations", false, "print only the observation checks")
+	rf := cliflag.RegisterResilience()
 	flag.Parse()
 
-	if *verbose {
-		fmt.Fprintf(os.Stderr, "mbchar: characterizing with %d workers\n", par.Workers(*workers))
-	}
-	ds, err := core.Collect(core.Options{Sim: sim.Config{Seed: *seed}, Runs: *runs, Workers: *workers})
+	inj, err := rf.Injector()
 	if err != nil {
 		fatal(err)
 	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "mbchar: characterizing with %d workers\n", par.Workers(*workers))
+	}
+	ds, err := core.Collect(core.Options{
+		Sim:        sim.Config{Seed: *seed, Fault: inj},
+		Runs:       *runs,
+		Workers:    *workers,
+		Resilience: rf.Policy(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	cliflag.WarnDegraded("mbchar", ds)
 
 	emit := func(t *report.Table) {
 		var werr error

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	mbcluster [-runs N] [-workers N] [-k K] [-validate] [-kmeans|-pam]
+//	          [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
+//	          [-inject SPEC]
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"mobilebench/internal/cliflag"
 	"mobilebench/internal/cluster"
 	"mobilebench/internal/core"
 	"mobilebench/internal/par"
@@ -27,15 +30,26 @@ func main() {
 	validate := flag.Bool("validate", false, "print the Figure 4 validation sweep")
 	kmeans := flag.Bool("kmeans", false, "print only the K-means clustering (Figure 6)")
 	pam := flag.Bool("pam", false, "print only the PAM clustering")
+	rf := cliflag.RegisterResilience()
 	flag.Parse()
 
-	if *verbose {
-		fmt.Fprintf(os.Stderr, "mbcluster: characterizing with %d workers\n", par.Workers(*workers))
-	}
-	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: *runs, Workers: *workers})
+	inj, err := rf.Injector()
 	if err != nil {
 		fatal(err)
 	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "mbcluster: characterizing with %d workers\n", par.Workers(*workers))
+	}
+	ds, err := core.Collect(core.Options{
+		Sim:        sim.Config{Fault: inj},
+		Runs:       *runs,
+		Workers:    *workers,
+		Resilience: rf.Policy(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	cliflag.WarnDegraded("mbcluster", ds)
 
 	if *validate {
 		scores, err := ds.Figure4(2, 9)

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	mbreport [-runs N] [-workers N] [-o FILE]
+//	mbreport [-runs N] [-workers N] [-o FILE] [-max-retries N]
+//	         [-run-timeout D] [-min-runs N] [-fail-fast] [-inject SPEC]
 package main
 
 import (
@@ -14,17 +15,39 @@ import (
 	"os"
 
 	"mobilebench"
+	"mobilebench/internal/cliflag"
 )
 
 func main() {
 	runs := flag.Int("runs", 3, "runs to average per benchmark")
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
+	rf := cliflag.RegisterResilience()
 	flag.Parse()
 
-	c, err := mobilebench.Characterize(mobilebench.Options{Runs: *runs, Workers: *workers})
+	inj, err := mobilebench.ParseInjection(rf.InjectSpec)
 	if err != nil {
 		fatal(err)
+	}
+	c, err := mobilebench.Characterize(mobilebench.Options{
+		Runs:       *runs,
+		Workers:    *workers,
+		MaxRetries: rf.MaxRetries,
+		RunTimeout: rf.RunTimeout,
+		FailFast:   rf.FailFast,
+		MinRuns:    rf.MinRuns,
+		Inject:     inj,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if c.Degraded() {
+		fmt.Fprintln(os.Stderr, "mbreport: warning: collection degraded by faults:")
+		for _, p := range c.Provenance() {
+			if p.Degraded() {
+				fmt.Fprintf(os.Stderr, "mbreport:   %s\n", p)
+			}
+		}
 	}
 
 	w := os.Stdout

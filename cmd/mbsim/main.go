@@ -5,6 +5,8 @@
 // Usage:
 //
 //	mbsim -bench "3DMark Wild Life" [-runs N] [-workers N] [-csv] [-list]
+//	      [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
+//	      [-inject SPEC]
 package main
 
 import (
@@ -14,6 +16,8 @@ import (
 	"os"
 	"sort"
 
+	"mobilebench/internal/cliflag"
+	"mobilebench/internal/core"
 	"mobilebench/internal/par"
 	"mobilebench/internal/roi"
 	"mobilebench/internal/sim"
@@ -28,6 +32,7 @@ func main() {
 	csv := flag.Bool("csv", false, "dump the full counter trace as CSV")
 	list := flag.Bool("list", false, "list available benchmarks")
 	roiWindow := flag.Float64("roi", 0, "select representative regions of interest with this window length (seconds)")
+	rf := cliflag.RegisterResilience()
 	flag.Parse()
 
 	if *list {
@@ -53,16 +58,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := sim.New(sim.Config{})
+	inj, err := rf.Injector()
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := sim.New(sim.Config{Fault: inj})
 	if err != nil {
 		fatal(err)
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "mbsim: %d runs across %d workers\n", *runs, par.Workers(*workers))
 	}
-	res, err := eng.RunAveragedContext(context.Background(), w, *runs, *workers)
+	res, prov, err := core.RunAveragedResilient(context.Background(), eng, w, *runs, *workers, rf.Policy())
 	if err != nil {
 		fatal(err)
+	}
+	if prov.Degraded() || prov.TotalRetries() > 0 {
+		fmt.Fprintf(os.Stderr, "mbsim: %s\n", prov)
 	}
 	if *csv {
 		if err := res.Trace.WriteCSV(os.Stdout); err != nil {

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	mbsubset [-runs N] [-workers N] [-curve] [-budget SECONDS]
+//	         [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
+//	         [-inject SPEC]
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"mobilebench/internal/cliflag"
 	"mobilebench/internal/core"
 	"mobilebench/internal/report"
 	"mobilebench/internal/sim"
@@ -24,12 +27,23 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation/curve worker goroutines (0 = all cores)")
 	curve := flag.Bool("curve", false, "print the Figure 7 growth curves")
 	budget := flag.Float64("budget", 0, "select a subset under this runtime budget (seconds)")
+	rf := cliflag.RegisterResilience()
 	flag.Parse()
 
-	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: *runs, Workers: *workers})
+	inj, err := rf.Injector()
 	if err != nil {
 		fatal(err)
 	}
+	ds, err := core.Collect(core.Options{
+		Sim:        sim.Config{Fault: inj},
+		Runs:       *runs,
+		Workers:    *workers,
+		Resilience: rf.Policy(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	cliflag.WarnDegraded("mbsubset", ds)
 
 	if *budget > 0 {
 		set, err := subset.UnderBudget(ds.SubsetBenchmarks(), *budget)

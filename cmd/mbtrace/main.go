@@ -5,6 +5,8 @@
 // Usage:
 //
 //	mbtrace [-runs N] [-workers N] [-samples N] [-clusters] [-bench NAME]
+//	        [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
+//	        [-inject SPEC]
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"mobilebench/internal/cliflag"
 	"mobilebench/internal/core"
 	"mobilebench/internal/report"
 	"mobilebench/internal/sim"
@@ -24,8 +27,13 @@ func main() {
 	samples := flag.Int("samples", 100, "normalized-time resolution")
 	clusters := flag.Bool("clusters", false, "print Figure 3 / Table V instead of Figure 2")
 	bench := flag.String("bench", "", "limit to one benchmark (analysis-unit name)")
+	rf := cliflag.RegisterResilience()
 	flag.Parse()
 
+	inj, err := rf.Injector()
+	if err != nil {
+		fatal(err)
+	}
 	units := workload.AnalysisUnits()
 	if *bench != "" {
 		w, err := workload.ByName(*bench)
@@ -34,10 +42,17 @@ func main() {
 		}
 		units = []workload.Workload{w}
 	}
-	ds, err := core.Collect(core.Options{Sim: sim.Config{}, Runs: *runs, Units: units, Workers: *workers})
+	ds, err := core.Collect(core.Options{
+		Sim:        sim.Config{Fault: inj},
+		Runs:       *runs,
+		Units:      units,
+		Workers:    *workers,
+		Resilience: rf.Policy(),
+	})
 	if err != nil {
 		fatal(err)
 	}
+	cliflag.WarnDegraded("mbtrace", ds)
 
 	if *clusters {
 		f3, err := report.Figure3(ds)

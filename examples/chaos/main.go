@@ -1,0 +1,93 @@
+// Chaos: the self-healing collection pipeline in action. The run is
+// characterized twice — once fault-free, once with deterministic fault
+// injection (crashes, aborts, hangs, dropped and NaN samples, skewed runs)
+// and the retry/timeout/outlier-re-run machinery enabled — and the two
+// datasets are compared bit for bit.
+//
+// Because the simulator derives every run from (benchmark, run) alone and
+// the injector goes clean after a bounded number of attempts, recovery is
+// exact: the chaos dataset matches the fault-free one, and the provenance
+// records how hard the pipeline had to work to get there.
+//
+// Run with:
+//
+//	go run ./examples/chaos
+package main
+
+import (
+	"fmt"
+	"log"
+	"reflect"
+	"sort"
+	"time"
+
+	"mobilebench"
+)
+
+func main() {
+	// The three shortest analysis units keep the example quick; the
+	// machinery is identical for the full suite.
+	units := mobilebench.AnalysisUnits()
+	sort.Slice(units, func(i, j int) bool { return units[i].Duration() < units[j].Duration() })
+	units = units[:3]
+
+	fmt.Println("== fault-free baseline ==")
+	base, err := mobilebench.Characterize(mobilebench.Options{Units: units})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range base.Provenance() {
+		fmt.Printf("  %s\n", p)
+	}
+
+	// Every fault mode at once. clean_after=2 bounds how long a single
+	// (benchmark, run) can keep failing, so -max-retries 4 always wins.
+	inj, err := mobilebench.ParseInjection(
+		"crash=0.25,abort=0.2,hang=0.1,panic=0.1,drop=0.2,nan=0.2,skew=0.25,hang_sec=30,clean_after=2,seed=1234")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n== chaos run (same seed, faults injected) ==")
+	chaos, err := mobilebench.Characterize(mobilebench.Options{
+		Units:      units,
+		MaxRetries: 4,
+		RunTimeout: 2 * time.Second,
+		Inject:     inj,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	retries, reruns, repaired := 0, 0, 0
+	for _, p := range chaos.Provenance() {
+		fmt.Printf("  %s\n", p)
+		for _, r := range p.Runs {
+			for _, f := range r.Faults {
+				fmt.Printf("    run %d %s\n", r.Run, f)
+			}
+		}
+		retries += p.TotalRetries()
+		reruns += p.TotalOutlierReruns()
+		repaired += p.TotalRepairedSamples()
+	}
+
+	fmt.Println("\n== recovery verdict ==")
+	fmt.Printf("  retries: %d, outlier re-runs: %d, repaired samples: %d, degraded: %v\n",
+		retries, reruns, repaired, chaos.Degraded())
+	identical := true
+	for _, name := range base.Names() {
+		ba, _ := base.Aggregates(name)
+		ca, _ := chaos.Aggregates(name)
+		bt, _ := base.TraceOf(name)
+		ct, _ := chaos.TraceOf(name)
+		if !reflect.DeepEqual(ba, ca) || !reflect.DeepEqual(bt, ct) {
+			identical = false
+			fmt.Printf("  %s: DIFFERS from the fault-free baseline\n", name)
+		}
+	}
+	if identical {
+		fmt.Println("  every benchmark is bit-identical to the fault-free baseline")
+	} else {
+		log.Fatal("chaos run diverged from the baseline")
+	}
+}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"mobilebench/internal/par"
@@ -28,11 +29,17 @@ type Options struct {
 	// Units overrides the benchmark list (default: the 18 analysis units).
 	Units []workload.Workload
 	// Workers bounds the goroutines simulating (unit, run) pairs and the
-	// downstream figure sweeps: <= 0 selects one per CPU, 1 forces the
-	// sequential path. Any value produces a bit-identical Dataset — every
-	// pair owns an independent random stream and results are merged in
-	// deterministic (unit, run) order.
+	// downstream figure sweeps: 0 selects one per CPU, 1 forces the
+	// sequential path (negative values are rejected by Validate). Any
+	// value produces a bit-identical Dataset — every pair owns an
+	// independent random stream and results are merged in deterministic
+	// (unit, run) order.
 	Workers int
+	// Resilience configures the self-healing collection path: retries
+	// with deterministic backoff, per-run timeouts, MAD-based outlier
+	// re-runs, trace repair and MinRuns degradation. The zero value keeps
+	// the strict historical behaviour (one attempt, every run required).
+	Resilience Resilience
 }
 
 // Unit is one characterized benchmark.
@@ -54,9 +61,35 @@ type Dataset struct {
 	// Workers is the parallelism Collect used; figure sweeps reuse it
 	// (<= 0 means one worker per CPU).
 	Workers int
+	// Provenance records, unit by unit (in Units order), how collection
+	// went: attempts, retries, outlier re-runs, repaired samples and
+	// dropped runs. Empty on hand-built datasets.
+	Provenance []UnitProvenance
 	// index maps unit name to Units offset (nil on hand-built datasets,
 	// which fall back to a linear scan).
 	index map[string]int
+}
+
+// ProvenanceOf returns the named unit's collection record; ok is false on
+// hand-built datasets or unknown names.
+func (d *Dataset) ProvenanceOf(name string) (UnitProvenance, bool) {
+	for _, p := range d.Provenance {
+		if p.Unit == name {
+			return p, true
+		}
+	}
+	return UnitProvenance{}, false
+}
+
+// Degraded reports whether any unit's result fell short of a full set of
+// clean runs (dropped runs or in-place trace repairs).
+func (d *Dataset) Degraded() bool {
+	for _, p := range d.Provenance {
+		if p.Degraded() {
+			return true
+		}
+	}
+	return false
 }
 
 // Collect runs every unit through the simulator and assembles the dataset.
@@ -64,11 +97,26 @@ func Collect(opts Options) (*Dataset, error) {
 	return CollectContext(context.Background(), opts)
 }
 
-// CollectContext is Collect with cancellation. All units x runs simulations
-// fan out over the Options.Workers pool as independent jobs; the first
-// failure cancels the remaining jobs promptly. Results are merged in
-// (unit, run) order, so the Dataset is identical for any worker count.
+// CollectContext is Collect with cancellation and self-healing. All
+// units x runs simulations fan out over the Options.Workers pool as
+// independent jobs, each protected by the Options.Resilience policy
+// (retries with deterministic backoff, per-attempt timeouts, trace
+// validation with repair as a last resort); after the fan-out, each
+// unit's run set is screened for statistical outliers (re-running them)
+// and averaged in (unit, run) order, so the Dataset is identical for any
+// worker count. Whenever every faulted run recovers through a clean
+// retry, the Dataset is bit-identical to a fault-free collection; any
+// shortfall (dropped runs, repaired traces) is recorded in
+// Dataset.Provenance.
+//
+// With the zero Resilience policy a permanently failed run fails the
+// collection: sibling jobs still complete, then every failure is
+// aggregated into a *CollectError (set Resilience.FailFast to abort on
+// the first failure instead).
 func CollectContext(ctx context.Context, opts Options) (*Dataset, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	runs := opts.Runs
 	if runs <= 0 {
 		runs = 3
@@ -81,34 +129,43 @@ func CollectContext(ctx context.Context, opts Options) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	pol := opts.Resilience
 	ds := &Dataset{Runs: runs, Workers: opts.Workers}
 
 	// One job per (unit, run) pair rather than per unit: with 18 units the
 	// longest unit would otherwise bound the tail; 54 jobs keep every core
 	// busy until the end.
-	results := make([][]*sim.Result, len(units))
-	for i := range results {
-		results[i] = make([]*sim.Result, runs)
+	states := make([][]*runState, len(units))
+	for i := range states {
+		states[i] = make([]*runState, runs)
+		for r := range states[i] {
+			states[i][r] = &runState{prov: RunProvenance{Run: r}}
+		}
 	}
 	err = par.ForEach(ctx, opts.Workers, len(units)*runs, func(ctx context.Context, j int) error {
 		ui, r := j/runs, j%runs
-		res, err := eng.RunContext(ctx, units[ui], r)
-		if err != nil {
-			return fmt.Errorf("core: characterizing %s: %w", units[ui].Name, err)
-		}
-		results[ui][r] = res
-		return nil
+		return collectRun(ctx, eng, units[ui], r, pol, states[ui][r])
 	})
 	if err != nil {
 		return nil, err
 	}
+	var failures []*RunError
 	for i, w := range units {
-		res, err := sim.AverageResults(w.Name, results[i])
+		res, prov, err := assembleUnit(ctx, eng, w, pol, states[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: characterizing %s: %w", w.Name, err)
+			var ce *CollectError
+			if errors.As(err, &ce) {
+				failures = append(failures, ce.Runs...)
+				continue
+			}
+			return nil, err
 		}
 		t, _ := workload.TargetFor(w.Name)
 		ds.Units = append(ds.Units, Unit{Workload: w, Agg: res.Agg, Trace: res.Trace, Target: t})
+		ds.Provenance = append(ds.Provenance, prov)
+	}
+	if len(failures) > 0 {
+		return nil, &CollectError{Runs: failures}
 	}
 	ds.buildIndex()
 	return ds, nil

@@ -1,0 +1,56 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachRecoversPanics asserts a panicking job surfaces as a typed
+// *PanicError instead of killing the process, on both the sequential and the
+// pooled path.
+func TestForEachRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(context.Background(), workers, 20, func(_ context.Context, i int) error {
+			if i == 7 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Job != 7 {
+			t.Fatalf("workers=%d: panic attributed to job %d, want 7", workers, pe.Job)
+		}
+		if pe.Value != "kaboom" {
+			t.Fatalf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if !strings.Contains(pe.Error(), "kaboom") {
+			t.Fatalf("workers=%d: error text %q lacks the panic value", workers, pe.Error())
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+	}
+}
+
+// TestForEachPanicCancelsSiblings asserts a panic cancels the remaining jobs
+// like any other error.
+func TestForEachPanicCancelsSiblings(t *testing.T) {
+	started := int64(0)
+	err := ForEach(context.Background(), 2, 1000, func(ctx context.Context, i int) error {
+		atomic.AddInt64(&started, 1)
+		panic(i)
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if started >= 1000 {
+		t.Fatalf("all %d jobs ran despite a panic", started)
+	}
+}

@@ -12,10 +12,40 @@ package par
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a worker panic converted into an error. ForEach recovers
+// panics in job functions so that one buggy (or fault-injected) job cannot
+// kill the whole process; the panic value and stack are preserved for
+// diagnosis.
+type PanicError struct {
+	// Job is the job index whose function panicked.
+	Job int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: job %d panicked: %v", e.Job, e.Value)
+}
+
+// safeCall invokes fn(ctx, i), converting a panic into a *PanicError.
+func safeCall(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Job: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
+}
 
 // Workers normalizes a worker-count option: values <= 0 select one worker
 // per available CPU (runtime.GOMAXPROCS(0)).
@@ -30,6 +60,10 @@ func Workers(n int) int {
 // goroutines (workers <= 0 selects all CPUs). Jobs are claimed from a
 // shared counter, so scheduling order is unspecified; callers must make
 // each job independent and write its result into a slot indexed by i.
+//
+// A panic inside fn is recovered and surfaces as a *PanicError for that
+// job — a buggy or fault-injected job fails like any other instead of
+// killing the process.
 //
 // On the first job error the shared context is cancelled so in-flight
 // sibling jobs can abort and unstarted jobs are skipped. The returned
@@ -50,7 +84,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, i); err != nil {
+			if err := safeCall(ctx, i, fn); err != nil {
 				return err
 			}
 		}
@@ -75,7 +109,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 					errs[i] = err
 					continue
 				}
-				if err := fn(cctx, i); err != nil {
+				if err := safeCall(cctx, i, fn); err != nil {
 					errs[i] = err
 					cancel()
 				}

@@ -1,0 +1,86 @@
+// Trace-level validation and repair. A healthy trace is aligned (every
+// series has exactly Samples samples) and finite; a real Snapdragon
+// Profiler session can violate both, and the fault injector reproduces
+// those corruptions. Validate is the collection layer's acceptance gate;
+// Repair is the salvage path when re-running is no longer an option.
+package profiler
+
+import (
+	"fmt"
+)
+
+// Validate checks the trace is analysable: a positive sampling interval,
+// at least one sample, every series aligned to Samples, and no NaN/Inf
+// values anywhere. The first violation is returned as a descriptive error.
+func (t *Trace) Validate() error {
+	if t == nil {
+		return fmt.Errorf("profiler: nil trace")
+	}
+	if t.DT <= 0 {
+		return fmt.Errorf("profiler: trace has invalid interval %v", t.DT)
+	}
+	if t.Samples <= 0 {
+		return fmt.Errorf("profiler: trace has no samples")
+	}
+	for _, name := range t.order {
+		s := t.series[name]
+		if s.Len() != t.Samples {
+			return fmt.Errorf("profiler: series %q has %d samples, want %d (dropped samples)",
+				name, s.Len(), t.Samples)
+		}
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RepairStats summarizes what Repair changed.
+type RepairStats struct {
+	// TruncatedSamples is how many trailing sample slots were cut to
+	// re-align the series (per-series drop counts summed).
+	TruncatedSamples int
+	// InterpolatedSamples is how many NaN/Inf samples were filled by gap
+	// interpolation.
+	InterpolatedSamples int
+}
+
+// Total returns the total number of repaired sample slots.
+func (r RepairStats) Total() int { return r.TruncatedSamples + r.InterpolatedSamples }
+
+// Repair salvages a corrupted trace in place: series are re-aligned by
+// truncating every series to the shortest one's length (the dropped-tail
+// failure mode), and NaN/Inf samples are filled by linear gap
+// interpolation. It returns what was changed, or an error when the trace
+// is beyond repair (no samples left, or a series with no finite samples).
+func (t *Trace) Repair() (RepairStats, error) {
+	var st RepairStats
+	if t == nil {
+		return st, fmt.Errorf("profiler: nil trace")
+	}
+	minLen := t.Samples
+	for _, name := range t.order {
+		if l := t.series[name].Len(); l < minLen {
+			minLen = l
+		}
+	}
+	if minLen <= 0 {
+		return st, fmt.Errorf("profiler: trace unrepairable: a series has no samples")
+	}
+	if minLen != t.Samples {
+		for _, name := range t.order {
+			s := t.series[name]
+			st.TruncatedSamples += s.Len() - minLen
+			s.Values = s.Values[:minLen]
+		}
+		t.Samples = minLen
+	}
+	for _, name := range t.order {
+		n, err := t.series[name].RepairGaps()
+		if err != nil {
+			return st, err
+		}
+		st.InterpolatedSamples += n
+	}
+	return st, nil
+}

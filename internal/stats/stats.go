@@ -5,48 +5,89 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
 
-// Mean returns the arithmetic mean of xs (0 for empty input).
-func Mean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	s := 0.0
+// Sentinel errors for undefined statistics. Callers that feed Table III
+// (CorrelationMatrix) substitute an explicit 0 for entries carrying these
+// errors instead of letting NaN propagate into the report.
+var (
+	// ErrNonFinite marks inputs containing NaN or Inf samples.
+	ErrNonFinite = errors.New("stats: non-finite input")
+	// ErrZeroVariance marks a correlation over a constant series.
+	ErrZeroVariance = errors.New("stats: zero-variance input")
+)
+
+// IsFinite reports whether v is neither NaN nor infinite.
+func IsFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// AllFinite reports whether every value in xs is finite.
+func AllFinite(xs []float64) bool {
 	for _, x := range xs {
-		s += x
+		if !IsFinite(x) {
+			return false
+		}
 	}
-	return s / float64(len(xs))
+	return true
 }
 
-// Variance returns the population variance of xs.
-func Variance(xs []float64) float64 {
-	if len(xs) == 0 {
+// Mean returns the arithmetic mean of the finite values of xs (0 when xs
+// is empty or has no finite values). NaN/Inf samples — corrupted counter
+// readings — are excluded rather than propagated.
+func Mean(xs []float64) float64 {
+	s, n := 0.0, 0
+	for _, x := range xs {
+		if !IsFinite(x) {
+			continue
+		}
+		s += x
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
+	return s / float64(n)
+}
+
+// Variance returns the population variance of the finite values of xs
+// (0 when fewer than one finite value is present). NaN/Inf samples are
+// excluded rather than propagated.
+func Variance(xs []float64) float64 {
 	m := Mean(xs)
-	s := 0.0
+	s, n := 0.0, 0
 	for _, x := range xs {
+		if !IsFinite(x) {
+			continue
+		}
 		d := x - m
 		s += d * d
+		n++
 	}
-	return s / float64(len(xs))
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
 }
 
-// StdDev returns the population standard deviation of xs.
+// StdDev returns the population standard deviation of the finite values
+// of xs.
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Pearson returns the Pearson correlation coefficient between x and y.
-// It returns an error when the lengths differ or either series has zero
-// variance (the coefficient is undefined).
+// It returns an error when the lengths differ, either input contains a
+// non-finite value (wrapping ErrNonFinite), or either series has zero
+// variance (wrapping ErrZeroVariance; the coefficient is undefined).
 func Pearson(x, y []float64) (float64, error) {
 	if len(x) != len(y) {
 		return 0, fmt.Errorf("stats: Pearson length mismatch %d vs %d", len(x), len(y))
 	}
 	if len(x) < 2 {
 		return 0, fmt.Errorf("stats: Pearson needs at least 2 points")
+	}
+	if !AllFinite(x) || !AllFinite(y) {
+		return 0, fmt.Errorf("stats: Pearson: %w", ErrNonFinite)
 	}
 	mx, my := Mean(x), Mean(y)
 	var sxy, sxx, syy float64
@@ -57,7 +98,7 @@ func Pearson(x, y []float64) (float64, error) {
 		syy += dy * dy
 	}
 	if sxx == 0 || syy == 0 {
-		return 0, fmt.Errorf("stats: Pearson undefined for zero-variance input")
+		return 0, fmt.Errorf("stats: Pearson: %w", ErrZeroVariance)
 	}
 	return sxy / math.Sqrt(sxx*syy), nil
 }
@@ -99,7 +140,9 @@ func Strength(r float64) CorrelationStrength {
 }
 
 // CorrelationMatrix returns the full Pearson matrix of the columns.
-// Undefined entries (zero variance) are reported as 0.
+// Undefined entries (zero variance or non-finite inputs) are reported as
+// an explicit 0 — never NaN — so Table III stays printable even over a
+// degraded dataset.
 func CorrelationMatrix(cols [][]float64) [][]float64 {
 	n := len(cols)
 	m := make([][]float64, n)

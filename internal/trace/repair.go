@@ -1,0 +1,94 @@
+// Trace validation and repair: the guards that keep corrupted counter
+// series (NaN/Inf samples, dropped tails) out of the analysis layer, and
+// the gap interpolation used when a damaged run must be salvaged rather
+// than re-run.
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Validate checks the series for analysis-poisoning values: it returns a
+// descriptive error when the series is empty, has a non-positive sampling
+// interval, or contains a NaN or infinite sample.
+func (s *Series) Validate() error {
+	if len(s.Values) == 0 {
+		return fmt.Errorf("trace: series %q is empty", s.Name)
+	}
+	if s.DT <= 0 || math.IsNaN(s.DT) || math.IsInf(s.DT, 0) {
+		return fmt.Errorf("trace: series %q has invalid interval %v", s.Name, s.DT)
+	}
+	for i, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("trace: series %q sample %d is %v", s.Name, i, v)
+		}
+	}
+	return nil
+}
+
+// CountNonFinite returns how many samples are NaN or infinite.
+func (s *Series) CountNonFinite() int {
+	n := 0
+	for _, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			n++
+		}
+	}
+	return n
+}
+
+// RepairGaps replaces NaN/Inf samples in place by linear interpolation
+// between the nearest finite neighbours; leading and trailing gaps are
+// filled by extending the nearest finite sample. It returns how many
+// samples were repaired. A series with no finite samples at all cannot be
+// repaired and returns an error.
+func (s *Series) RepairGaps() (int, error) {
+	n := len(s.Values)
+	if n == 0 {
+		return 0, fmt.Errorf("trace: cannot repair empty series %q", s.Name)
+	}
+	bad := s.CountNonFinite()
+	if bad == 0 {
+		return 0, nil
+	}
+	if bad == n {
+		return 0, fmt.Errorf("trace: series %q has no finite samples to repair from", s.Name)
+	}
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	repaired := 0
+	i := 0
+	for i < n {
+		if finite(s.Values[i]) {
+			i++
+			continue
+		}
+		// Gap [i, j).
+		j := i
+		for j < n && !finite(s.Values[j]) {
+			j++
+		}
+		switch {
+		case i == 0 && j == n:
+			// Unreachable: bad < n guarantees a finite sample exists.
+		case i == 0:
+			for k := i; k < j; k++ {
+				s.Values[k] = s.Values[j]
+			}
+		case j == n:
+			for k := i; k < j; k++ {
+				s.Values[k] = s.Values[i-1]
+			}
+		default:
+			lo, hi := s.Values[i-1], s.Values[j]
+			span := float64(j - (i - 1))
+			for k := i; k < j; k++ {
+				t := float64(k-(i-1)) / span
+				s.Values[k] = lo + t*(hi-lo)
+			}
+		}
+		repaired += j - i
+		i = j
+	}
+	return repaired, nil
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeriesValidate(t *testing.T) {
+	if err := seriesOf(1, 2, 3).Validate(); err != nil {
+		t.Fatalf("clean series invalid: %v", err)
+	}
+	if err := NewSeries("e", 0.1).Validate(); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if err := NewSeries("bad", 0).Validate(); err == nil {
+		t.Fatal("zero-DT series accepted")
+	}
+	s := seriesOf(1, math.NaN(), 3)
+	if err := s.Validate(); err == nil {
+		t.Fatal("NaN sample accepted")
+	}
+	if s.CountNonFinite() != 1 {
+		t.Fatalf("CountNonFinite = %d, want 1", s.CountNonFinite())
+	}
+	if err := seriesOf(1, math.Inf(1)).Validate(); err == nil {
+		t.Fatal("Inf sample accepted")
+	}
+}
+
+func TestRepairGapsInterior(t *testing.T) {
+	s := seriesOf(1, math.NaN(), math.NaN(), 4)
+	n, err := s.RepairGaps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("repaired %d samples, want 2", n)
+	}
+	want := []float64{1, 2, 3, 4}
+	for i, v := range s.Values {
+		if math.Abs(v-want[i]) > 1e-12 {
+			t.Fatalf("Values[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("repaired series still invalid: %v", err)
+	}
+}
+
+func TestRepairGapsEdges(t *testing.T) {
+	s := seriesOf(math.NaN(), 5, math.Inf(1), 7, math.NaN())
+	n, err := s.RepairGaps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("repaired %d samples, want 3", n)
+	}
+	want := []float64{5, 5, 6, 7, 7}
+	for i, v := range s.Values {
+		if math.Abs(v-want[i]) > 1e-12 {
+			t.Fatalf("Values[%d] = %g, want %g", i, v, want[i])
+		}
+	}
+}
+
+func TestRepairGapsAllBad(t *testing.T) {
+	s := seriesOf(math.NaN(), math.NaN())
+	if _, err := s.RepairGaps(); err == nil {
+		t.Fatal("series with no finite samples repaired")
+	}
+}
+
+func TestRepairGapsNoop(t *testing.T) {
+	s := seriesOf(1, 2, 3)
+	n, err := s.RepairGaps()
+	if err != nil || n != 0 {
+		t.Fatalf("clean series: n=%d err=%v", n, err)
+	}
+}

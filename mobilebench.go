@@ -29,6 +29,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"mobilebench/internal/aie"
 	"mobilebench/internal/branch"
@@ -36,6 +37,7 @@ import (
 	"mobilebench/internal/cluster"
 	"mobilebench/internal/core"
 	"mobilebench/internal/cpu"
+	"mobilebench/internal/fault"
 	"mobilebench/internal/gpu"
 	"mobilebench/internal/mem"
 	"mobilebench/internal/profiler"
@@ -100,7 +102,27 @@ type (
 	ROISelection = roi.Selection
 	// ROIInterval is one selected region of interest.
 	ROIInterval = roi.Interval
+	// FaultInjector deterministically injects failures into runs (chaos
+	// testing); build one with ParseInjection or fault.New.
+	FaultInjector = fault.Injector
+	// RunError is one (benchmark, run) that failed permanently despite the
+	// retry policy.
+	RunError = core.RunError
+	// CollectError aggregates every permanently failed run of a collection.
+	CollectError = core.CollectError
+	// OptionError reports one invalid option, named by field.
+	OptionError = core.OptionError
+	// UnitProvenance records how one benchmark's run set was collected:
+	// attempts, retries, outlier re-runs, repairs and dropped runs.
+	UnitProvenance = core.UnitProvenance
+	// RunProvenance is one run's collection record within a UnitProvenance.
+	RunProvenance = core.RunProvenance
 )
+
+// ParseInjection builds a fault injector from a comma-separated spec such as
+// "crash=0.2,nan=0.1,seed=7" (the CLIs' -inject format). The empty spec
+// returns a nil injector, which injects nothing.
+func ParseInjection(spec string) (*FaultInjector, error) { return fault.Parse(spec) }
 
 // Graphics APIs for Scene definitions.
 const (
@@ -149,11 +171,29 @@ type Options struct {
 	// Units overrides the benchmark set (default: the 18 analysis units).
 	Units []Workload
 	// Workers bounds the parallelism of the simulation fan-out and the
-	// figure sweeps: <= 0 selects one worker per CPU (the default), 1
-	// forces fully sequential execution. Every (benchmark, run) pair
-	// derives an independent random stream, so the result is bit-identical
-	// for any worker count.
+	// figure sweeps: 0 selects one worker per CPU (the default), 1 forces
+	// fully sequential execution (negative values are rejected). Every
+	// (benchmark, run) pair derives an independent random stream, so the
+	// result is bit-identical for any worker count.
 	Workers int
+
+	// MaxRetries is how many extra attempts each (benchmark, run) gets
+	// after a failed first attempt (default 0: fail on the first error).
+	MaxRetries int
+	// RunTimeout bounds each attempt's wall-clock time; a hung run is
+	// cancelled and retried (default 0: no timeout).
+	RunTimeout time.Duration
+	// FailFast aborts the whole characterization on the first permanently
+	// failed run instead of finishing siblings and aggregating errors.
+	FailFast bool
+	// MinRuns accepts a benchmark once at least MinRuns of its Runs
+	// produced valid results, recording the shortfall in the provenance
+	// (default 0: every run is required).
+	MinRuns int
+	// Inject enables deterministic fault injection for chaos testing
+	// (normally nil). Whenever every injected fault recovers through a
+	// clean retry, the result is bit-identical to a fault-free run.
+	Inject *FaultInjector
 }
 
 // Characterization is the analysed dataset; all of the paper's tables,
@@ -177,10 +217,17 @@ func CharacterizeContext(ctx context.Context, opts Options) (*Characterization, 
 			Platform: opts.Platform,
 			Seed:     opts.Seed,
 			TickSec:  opts.TickSec,
+			Fault:    opts.Inject,
 		},
 		Runs:    opts.Runs,
 		Units:   opts.Units,
 		Workers: opts.Workers,
+		Resilience: core.Resilience{
+			MaxRetries: opts.MaxRetries,
+			RunTimeout: opts.RunTimeout,
+			FailFast:   opts.FailFast,
+			MinRuns:    opts.MinRuns,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -194,6 +241,15 @@ func (c *Characterization) Dataset() *core.Dataset { return c.ds }
 
 // Names returns the benchmark names in dataset order.
 func (c *Characterization) Names() []string { return c.ds.Names() }
+
+// Provenance returns the per-benchmark collection records (attempts,
+// retries, outlier re-runs, repaired samples, dropped runs) in dataset
+// order.
+func (c *Characterization) Provenance() []UnitProvenance { return c.ds.Provenance }
+
+// Degraded reports whether any benchmark's result fell short of a full set
+// of clean runs (dropped runs or in-place trace repairs).
+func (c *Characterization) Degraded() bool { return c.ds.Degraded() }
 
 // Aggregates returns the named benchmark's run-averaged summary metrics.
 func (c *Characterization) Aggregates(name string) (Aggregates, error) {
