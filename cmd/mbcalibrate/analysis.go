@@ -12,7 +12,7 @@ import (
 
 // runAnalysis prints the downstream analyses (correlations, clustering,
 // load levels, subsets, observations) for calibration review.
-func runAnalysis(runs, workers int, rf *cliflag.Resilience) {
+func runAnalysis(runs, workers int, rf *cliflag.Resilience, cf *cliflag.Checkpoint) {
 	inj, err := rf.Injector()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
@@ -23,6 +23,8 @@ func runAnalysis(runs, workers int, rf *cliflag.Resilience) {
 		Runs:       runs,
 		Workers:    workers,
 		Resilience: rf.Policy(),
+		Checkpoint: cf.Path,
+		Resume:     cf.Resume,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)

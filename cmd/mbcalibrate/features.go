@@ -14,7 +14,7 @@ import (
 // runFeatures prints the normalized clustering features, the pairwise
 // distance matrix and each benchmark's nearest neighbours — the view used
 // to calibrate the similarity analysis.
-func runFeatures(runs, workers int, rf *cliflag.Resilience) {
+func runFeatures(runs, workers int, rf *cliflag.Resilience, cf *cliflag.Checkpoint) {
 	inj, err := rf.Injector()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
@@ -25,6 +25,8 @@ func runFeatures(runs, workers int, rf *cliflag.Resilience) {
 		Runs:       runs,
 		Workers:    workers,
 		Resilience: rf.Policy(),
+		Checkpoint: cf.Path,
+		Resume:     cf.Resume,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)

@@ -6,7 +6,6 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,14 +23,19 @@ func main() {
 	analysis := flag.Bool("analysis", false, "also run the downstream analyses (clustering, subsets, observations)")
 	features := flag.Bool("features", false, "print normalized clustering features and distances")
 	rf := cliflag.RegisterResilience()
+	cf := cliflag.RegisterCheckpoint()
 	flag.Parse()
 
+	if err := cf.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
+		os.Exit(1)
+	}
 	if *analysis {
-		runAnalysis(*runs, *workers, rf)
+		runAnalysis(*runs, *workers, rf, cf)
 		return
 	}
 	if *features {
-		runFeatures(*runs, *workers, rf)
+		runFeatures(*runs, *workers, rf, cf)
 		return
 	}
 
@@ -40,7 +44,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
 		os.Exit(1)
 	}
-	eng, err := sim.New(sim.Config{Fault: inj})
+	// One Collect over every unit instead of a per-unit loop: the fan-out
+	// keeps all cores busy and -checkpoint/-resume cover the whole table.
+	ds, err := core.Collect(core.Options{
+		Sim:        sim.Config{Fault: inj},
+		Runs:       *runs,
+		Workers:    *workers,
+		Resilience: rf.Policy(),
+		Checkpoint: cf.Path,
+		Resume:     cf.Resume,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
 		os.Exit(1)
@@ -48,16 +61,12 @@ func main() {
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\truntime\tIC(B)\ttargetIC\tdutyFix\tIPC\ttgtIPC\tcMPKI\tbMPKI\tCPU\tGPU\tShad\tBus\tAIE\tMem%\tMemMB\tLload\tMload\tBload")
-	for _, w := range workload.AnalysisUnits() {
-		res, prov, err := core.RunAveragedResilient(context.Background(), eng, w, *runs, *workers, rf.Policy())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
-			os.Exit(1)
-		}
-		if prov.Degraded() {
+	for _, u := range ds.Units {
+		w := u.Workload
+		if prov, ok := ds.ProvenanceOf(w.Name); ok && prov.Degraded() {
 			fmt.Fprintf(os.Stderr, "mbcalibrate: warning: %s\n", prov)
 		}
-		a := res.Agg
+		a := u.Agg
 		t, _ := workload.TargetFor(w.Name)
 		icB := a.InstrCount / 1e9
 		fix := 0.0

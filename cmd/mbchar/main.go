@@ -6,7 +6,7 @@
 //
 //	mbchar [-runs N] [-workers N] [-csv] [-correlation] [-observations]
 //	       [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
-//	       [-inject SPEC]
+//	       [-inject SPEC] [-checkpoint FILE] [-resume]
 package main
 
 import (
@@ -30,8 +30,12 @@ func main() {
 	correlation := flag.Bool("correlation", false, "print only Table III")
 	observations := flag.Bool("observations", false, "print only the observation checks")
 	rf := cliflag.RegisterResilience()
+	cf := cliflag.RegisterCheckpoint()
 	flag.Parse()
 
+	if err := cf.Validate(); err != nil {
+		fatal(err)
+	}
 	inj, err := rf.Injector()
 	if err != nil {
 		fatal(err)
@@ -44,6 +48,8 @@ func main() {
 		Runs:       *runs,
 		Workers:    *workers,
 		Resilience: rf.Policy(),
+		Checkpoint: cf.Path,
+		Resume:     cf.Resume,
 	})
 	if err != nil {
 		fatal(err)

@@ -6,7 +6,7 @@
 //
 //	mbcluster [-runs N] [-workers N] [-k K] [-validate] [-kmeans|-pam]
 //	          [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
-//	          [-inject SPEC]
+//	          [-inject SPEC] [-checkpoint FILE] [-resume]
 package main
 
 import (
@@ -31,8 +31,12 @@ func main() {
 	kmeans := flag.Bool("kmeans", false, "print only the K-means clustering (Figure 6)")
 	pam := flag.Bool("pam", false, "print only the PAM clustering")
 	rf := cliflag.RegisterResilience()
+	cf := cliflag.RegisterCheckpoint()
 	flag.Parse()
 
+	if err := cf.Validate(); err != nil {
+		fatal(err)
+	}
 	inj, err := rf.Injector()
 	if err != nil {
 		fatal(err)
@@ -45,6 +49,8 @@ func main() {
 		Runs:       *runs,
 		Workers:    *workers,
 		Resilience: rf.Policy(),
+		Checkpoint: cf.Path,
+		Resume:     cf.Resume,
 	})
 	if err != nil {
 		fatal(err)

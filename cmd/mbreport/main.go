@@ -7,14 +7,17 @@
 //
 //	mbreport [-runs N] [-workers N] [-o FILE] [-max-retries N]
 //	         [-run-timeout D] [-min-runs N] [-fail-fast] [-inject SPEC]
+//	         [-checkpoint FILE] [-resume]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mobilebench"
+	"mobilebench/internal/checkpoint"
 	"mobilebench/internal/cliflag"
 )
 
@@ -23,8 +26,12 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores)")
 	out := flag.String("o", "", "write the report to this file instead of stdout")
 	rf := cliflag.RegisterResilience()
+	cf := cliflag.RegisterCheckpoint()
 	flag.Parse()
 
+	if err := cf.Validate(); err != nil {
+		fatal(err)
+	}
 	inj, err := mobilebench.ParseInjection(rf.InjectSpec)
 	if err != nil {
 		fatal(err)
@@ -37,6 +44,8 @@ func main() {
 		FailFast:   rf.FailFast,
 		MinRuns:    rf.MinRuns,
 		Inject:     inj,
+		Checkpoint: cf.Path,
+		Resume:     cf.Resume,
 	})
 	if err != nil {
 		fatal(err)
@@ -50,20 +59,18 @@ func main() {
 		}
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	if *out == "" {
+		if err := c.WriteReport(os.Stdout); err != nil {
 			fatal(err)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-		}()
-		w = f
+		return
 	}
-	if err := c.WriteReport(w); err != nil {
+	// Atomic replace: the report lands under its final name only once fully
+	// written, so a crash mid-write never leaves a truncated file where a
+	// previous good report used to be.
+	if err := checkpoint.WriteTo(*out, func(w io.Writer) error {
+		return c.WriteReport(w)
+	}); err != nil {
 		fatal(err)
 	}
 }

@@ -1,0 +1,87 @@
+// Command mbserved serves the characterization pipeline over HTTP:
+// characterize/cluster/subset jobs run through a bounded queue with load
+// shedding (429 + Retry-After), per-job deadlines and crash-safe state.
+// Collections checkpoint every completed (benchmark, run), so a drained or
+// killed server resumes its unfinished jobs on the next start instead of
+// redoing them.
+//
+// Usage:
+//
+//	mbserved -state DIR [-addr :8089] [-queue N] [-concurrent N]
+//	         [-job-timeout D] [-drain-grace D]
+//
+// Submit and inspect jobs:
+//
+//	curl -d '{"kind":"characterize","runs":1}' localhost:8089/jobs
+//	curl localhost:8089/jobs/job-000000
+//
+// On SIGTERM or SIGINT the server drains: admission stops (503), queued
+// jobs stay persisted for the next start, and in-flight jobs get the grace
+// period to finish before being interrupted at a checkpointed boundary.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mobilebench/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8089", "listen address")
+	state := flag.String("state", "mbserved-state", "directory for job records and collection checkpoints")
+	queue := flag.Int("queue", 8, "queued-job bound; submissions beyond it are shed with 429")
+	concurrent := flag.Int("concurrent", 1, "jobs running at once")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline unless the job sets its own (0 = none)")
+	drainGrace := flag.Duration("drain-grace", 2*time.Second, "how long a drain lets in-flight jobs finish before interrupting them")
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		StateDir:      *state,
+		QueueDepth:    *queue,
+		MaxConcurrent: *concurrent,
+		JobTimeout:    *jobTimeout,
+		DrainGrace:    *drainGrace,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "mbserved: listening on %s, state in %s\n", *addr, *state)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "mbserved: %v: draining (in-flight jobs get %s)\n", sig, *drainGrace)
+	}
+
+	// Drain jobs first — /healthz and job reads keep answering meanwhile —
+	// then close the listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace+30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "mbserved: drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbserved:", err)
+	os.Exit(1)
+}

@@ -6,11 +6,10 @@
 //
 //	mbsim -bench "3DMark Wild Life" [-runs N] [-workers N] [-csv] [-list]
 //	      [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
-//	      [-inject SPEC]
+//	      [-inject SPEC] [-checkpoint FILE] [-resume]
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +32,7 @@ func main() {
 	list := flag.Bool("list", false, "list available benchmarks")
 	roiWindow := flag.Float64("roi", 0, "select representative regions of interest with this window length (seconds)")
 	rf := cliflag.RegisterResilience()
+	cf := cliflag.RegisterCheckpoint()
 	flag.Parse()
 
 	if *list {
@@ -54,6 +54,9 @@ func main() {
 	if *bench == "" {
 		fatal(fmt.Errorf("missing -bench (use -list to see names)"))
 	}
+	if err := cf.Validate(); err != nil {
+		fatal(err)
+	}
 	w, err := workload.ByName(*bench)
 	if err != nil {
 		fatal(err)
@@ -62,28 +65,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng, err := sim.New(sim.Config{Fault: inj})
-	if err != nil {
-		fatal(err)
-	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "mbsim: %d runs across %d workers\n", *runs, par.Workers(*workers))
 	}
-	res, prov, err := core.RunAveragedResilient(context.Background(), eng, w, *runs, *workers, rf.Policy())
+	// A single-unit Collect rather than a bare engine loop: the same
+	// fan-out drives every CLI, so -checkpoint/-resume behave identically
+	// here and in the full characterizations.
+	ds, err := core.Collect(core.Options{
+		Sim:        sim.Config{Fault: inj},
+		Runs:       *runs,
+		Units:      []workload.Workload{w},
+		Workers:    *workers,
+		Resilience: rf.Policy(),
+		Checkpoint: cf.Path,
+		Resume:     cf.Resume,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	if prov.Degraded() || prov.TotalRetries() > 0 {
+	u := ds.Units[0]
+	if prov, ok := ds.ProvenanceOf(w.Name); ok && (prov.Degraded() || prov.TotalRetries() > 0) {
 		fmt.Fprintf(os.Stderr, "mbsim: %s\n", prov)
 	}
 	if *csv {
-		if err := res.Trace.WriteCSV(os.Stdout); err != nil {
+		if err := u.Trace.WriteCSV(os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *roiWindow > 0 {
-		sel, err := roi.Analyze(res.Trace, roi.Options{WindowSec: *roiWindow})
+		sel, err := roi.Analyze(u.Trace, roi.Options{WindowSec: *roiWindow})
 		if err != nil {
 			fatal(err)
 		}
@@ -94,10 +105,10 @@ func main() {
 				iv.Phase, iv.StartSec, iv.EndSec, iv.Weight)
 		}
 		fmt.Printf("replay budget %.1f s of %.1f s; reconstruction error %.1f%%\n",
-			sel.SimulatedSeconds(), res.Agg.RuntimeSec, sel.ReconstructionError()*100)
+			sel.SimulatedSeconds(), u.Agg.RuntimeSec, sel.ReconstructionError()*100)
 		return
 	}
-	a := res.Agg
+	a := u.Agg
 	fmt.Printf("%s (%s)\n", w.Name, w.Suite)
 	fmt.Printf("  runtime           %.1f s\n", a.RuntimeSec)
 	fmt.Printf("  instructions      %.2f B\n", a.InstrCount/1e9)
@@ -115,7 +126,7 @@ func main() {
 		a.AvgPowerW, a.EnergyJ)
 	fmt.Printf("  peak CPU temp     %.1f C (extension)\n", a.PeakCPUTempC)
 	fmt.Printf("  trace             %d metrics x %d samples\n",
-		res.Trace.NumMetrics(), res.Trace.Samples)
+		u.Trace.NumMetrics(), u.Trace.Samples)
 }
 
 func fatal(err error) {

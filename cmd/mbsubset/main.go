@@ -7,7 +7,7 @@
 //
 //	mbsubset [-runs N] [-workers N] [-curve] [-budget SECONDS]
 //	         [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
-//	         [-inject SPEC]
+//	         [-inject SPEC] [-checkpoint FILE] [-resume]
 package main
 
 import (
@@ -28,8 +28,12 @@ func main() {
 	curve := flag.Bool("curve", false, "print the Figure 7 growth curves")
 	budget := flag.Float64("budget", 0, "select a subset under this runtime budget (seconds)")
 	rf := cliflag.RegisterResilience()
+	cf := cliflag.RegisterCheckpoint()
 	flag.Parse()
 
+	if err := cf.Validate(); err != nil {
+		fatal(err)
+	}
 	inj, err := rf.Injector()
 	if err != nil {
 		fatal(err)
@@ -39,6 +43,8 @@ func main() {
 		Runs:       *runs,
 		Workers:    *workers,
 		Resilience: rf.Policy(),
+		Checkpoint: cf.Path,
+		Resume:     cf.Resume,
 	})
 	if err != nil {
 		fatal(err)

@@ -6,7 +6,7 @@
 //
 //	mbtrace [-runs N] [-workers N] [-samples N] [-clusters] [-bench NAME]
 //	        [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
-//	        [-inject SPEC]
+//	        [-inject SPEC] [-checkpoint FILE] [-resume]
 package main
 
 import (
@@ -28,8 +28,12 @@ func main() {
 	clusters := flag.Bool("clusters", false, "print Figure 3 / Table V instead of Figure 2")
 	bench := flag.String("bench", "", "limit to one benchmark (analysis-unit name)")
 	rf := cliflag.RegisterResilience()
+	cf := cliflag.RegisterCheckpoint()
 	flag.Parse()
 
+	if err := cf.Validate(); err != nil {
+		fatal(err)
+	}
 	inj, err := rf.Injector()
 	if err != nil {
 		fatal(err)
@@ -48,6 +52,8 @@ func main() {
 		Units:      units,
 		Workers:    *workers,
 		Resilience: rf.Policy(),
+		Checkpoint: cf.Path,
+		Resume:     cf.Resume,
 	})
 	if err != nil {
 		fatal(err)

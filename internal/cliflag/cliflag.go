@@ -1,6 +1,7 @@
-// Package cliflag holds the fault-tolerance flags shared by every CLI:
-// -max-retries, -run-timeout, -min-runs, -fail-fast and -inject, wired
-// identically so `mbchar -inject crash=0.2 -max-retries 3` and
+// Package cliflag holds the fault-tolerance and durability flags shared by
+// every CLI: -max-retries, -run-timeout, -min-runs, -fail-fast and -inject,
+// plus -checkpoint and -resume, wired identically so
+// `mbchar -inject crash=0.2 -max-retries 3` and
 // `mbreport -inject crash=0.2 -max-retries 3` mean the same thing.
 package cliflag
 
@@ -26,18 +27,58 @@ type Resilience struct {
 // RegisterResilience registers the shared flags on the default flag set and
 // returns the value holder; read it after flag.Parse.
 func RegisterResilience() *Resilience {
+	return RegisterResilienceOn(flag.CommandLine)
+}
+
+// RegisterResilienceOn is RegisterResilience on an explicit flag set, the
+// testable seam every CLI funnels through.
+func RegisterResilienceOn(fs *flag.FlagSet) *Resilience {
 	r := &Resilience{}
-	flag.IntVar(&r.MaxRetries, "max-retries", 0,
+	fs.IntVar(&r.MaxRetries, "max-retries", 0,
 		"extra attempts per (benchmark, run) after a failed one (0 = fail on the first error)")
-	flag.DurationVar(&r.RunTimeout, "run-timeout", 0,
+	fs.DurationVar(&r.RunTimeout, "run-timeout", 0,
 		"per-attempt wall-clock timeout, e.g. 30s (0 = no timeout)")
-	flag.IntVar(&r.MinRuns, "min-runs", 0,
+	fs.IntVar(&r.MinRuns, "min-runs", 0,
 		"accept a benchmark once this many of its runs are valid (0 = every run required)")
-	flag.BoolVar(&r.FailFast, "fail-fast", false,
+	fs.BoolVar(&r.FailFast, "fail-fast", false,
 		"abort on the first permanently failed run instead of finishing siblings")
-	flag.StringVar(&r.InjectSpec, "inject", "",
+	fs.StringVar(&r.InjectSpec, "inject", "",
 		"deterministic fault-injection spec for chaos testing, e.g. crash=0.2,nan=0.1,seed=7")
 	return r
+}
+
+// Checkpoint holds the values of the shared durability flags.
+type Checkpoint struct {
+	// Path is the -checkpoint snapshot file ("" disables checkpointing).
+	Path string
+	// Resume is the -resume flag: restore completed (benchmark, run)
+	// pairs from Path before collecting.
+	Resume bool
+}
+
+// RegisterCheckpoint registers the durability flags on the default flag set
+// and returns the value holder; read it after flag.Parse.
+func RegisterCheckpoint() *Checkpoint {
+	return RegisterCheckpointOn(flag.CommandLine)
+}
+
+// RegisterCheckpointOn is RegisterCheckpoint on an explicit flag set.
+func RegisterCheckpointOn(fs *flag.FlagSet) *Checkpoint {
+	c := &Checkpoint{}
+	fs.StringVar(&c.Path, "checkpoint", "",
+		"snapshot file persisting every completed (benchmark, run) atomically, so a killed collection can resume")
+	fs.BoolVar(&c.Resume, "resume", false,
+		"restore completed (benchmark, run) pairs from the -checkpoint snapshot before collecting the rest")
+	return c
+}
+
+// Validate rejects flag combinations core would refuse anyway, but with a
+// CLI-shaped message before any simulation starts.
+func (c *Checkpoint) Validate() error {
+	if c.Resume && c.Path == "" {
+		return fmt.Errorf("-resume requires -checkpoint to name the snapshot file")
+	}
+	return nil
 }
 
 // Policy returns the retry/timeout policy the flags selected.

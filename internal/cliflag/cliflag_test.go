@@ -1,0 +1,148 @@
+package cliflag
+
+import (
+	"flag"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"mobilebench/internal/core"
+	"mobilebench/internal/fault"
+)
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestResilienceFlagParsing(t *testing.T) {
+	fs := newFlagSet()
+	r := RegisterResilienceOn(fs)
+	err := fs.Parse([]string{
+		"-max-retries", "3",
+		"-run-timeout", "45s",
+		"-min-runs", "2",
+		"-fail-fast",
+		"-inject", "crash=0.2,nan=0.1,seed=7",
+	})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := core.Resilience{MaxRetries: 3, RunTimeout: 45 * time.Second, MinRuns: 2, FailFast: true}
+	if got := r.Policy(); got != want {
+		t.Fatalf("Policy = %+v, want %+v", got, want)
+	}
+	if r.InjectSpec != "crash=0.2,nan=0.1,seed=7" {
+		t.Fatalf("InjectSpec = %q", r.InjectSpec)
+	}
+}
+
+func TestResilienceDefaultsAreZero(t *testing.T) {
+	fs := newFlagSet()
+	r := RegisterResilienceOn(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Policy(); got != (core.Resilience{}) {
+		t.Fatalf("default policy = %+v, want the strict zero policy", got)
+	}
+	inj, err := r.Injector()
+	if err != nil || inj != nil {
+		t.Fatalf("default Injector = (%v, %v), want (nil, nil)", inj, err)
+	}
+}
+
+// TestInjectSpecRoundTrip asserts the -inject flag and fault.Parse agree:
+// the spec a user passes produces exactly the injector config the fault
+// package documents for it.
+func TestInjectSpecRoundTrip(t *testing.T) {
+	fs := newFlagSet()
+	r := RegisterResilienceOn(fs)
+	spec := "crash=0.25,abort=0.1,hang=0.05,hang_sec=2,drop=0.1,nan=0.2,skew=0.15,seed=99,clean_after=4"
+	if err := fs.Parse([]string{"-inject", spec}); err != nil {
+		t.Fatal(err)
+	}
+	inj, err := r.Injector()
+	if err != nil {
+		t.Fatalf("Injector: %v", err)
+	}
+	if inj == nil {
+		t.Fatal("Injector returned nil for a non-empty spec")
+	}
+	want, err := fault.Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inj.Config(), want.Config()) {
+		t.Fatalf("flag-parsed injector config %+v differs from fault.Parse %+v", inj.Config(), want.Config())
+	}
+	if got := inj.Config(); got.Crash != 0.25 || got.Seed != 99 || got.CleanAfter != 4 || got.HangSec != 2 {
+		t.Fatalf("spec fields not honoured: %+v", got)
+	}
+}
+
+func TestInjectSpecRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{"crash=2", "bogus=0.5", "crash", "hang_sec=-1"} {
+		fs := newFlagSet()
+		r := RegisterResilienceOn(fs)
+		if err := fs.Parse([]string{"-inject", spec}); err != nil {
+			t.Fatalf("flag parse of %q should succeed (validation is Injector's job): %v", spec, err)
+		}
+		if _, err := r.Injector(); err == nil {
+			t.Fatalf("Injector accepted invalid spec %q", spec)
+		}
+	}
+}
+
+func TestCheckpointFlagParsing(t *testing.T) {
+	fs := newFlagSet()
+	c := RegisterCheckpointOn(fs)
+	if err := fs.Parse([]string{"-checkpoint", "run.ckpt", "-resume"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Path != "run.ckpt" || !c.Resume {
+		t.Fatalf("Checkpoint = %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestCheckpointValidateRejectsBareResume(t *testing.T) {
+	fs := newFlagSet()
+	c := RegisterCheckpointOn(fs)
+	if err := fs.Parse([]string{"-resume"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("-resume without -checkpoint should be rejected")
+	}
+	// And the defaults validate clean.
+	fs2 := newFlagSet()
+	c2 := RegisterCheckpointOn(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Validate(); err != nil {
+		t.Fatalf("zero-value flags should validate: %v", err)
+	}
+}
+
+// TestRegisterOnDefaultSetWiring pins that the convenience registrars hit
+// flag.CommandLine with the canonical names (a fresh CommandLine keeps the
+// test hermetic).
+func TestRegisterOnDefaultSetWiring(t *testing.T) {
+	old := flag.CommandLine
+	defer func() { flag.CommandLine = old }()
+	flag.CommandLine = flag.NewFlagSet("prog", flag.ContinueOnError)
+
+	RegisterResilience()
+	RegisterCheckpoint()
+	for _, name := range []string{"max-retries", "run-timeout", "min-runs", "fail-fast", "inject", "checkpoint", "resume"} {
+		if flag.CommandLine.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered on the default set", name)
+		}
+	}
+}

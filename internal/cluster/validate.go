@@ -98,9 +98,19 @@ func Silhouette(rows [][]float64, a Assignment) float64 {
 // a different cluster than with the full data, averaged over observations
 // and removed columns. Lower is better.
 func APN(alg Algorithm, rows [][]float64, k int, full Assignment) (float64, error) {
+	return APNContext(context.Background(), alg, rows, k, full)
+}
+
+// APNContext is APN with cancellation: each leave-one-column-out
+// re-clustering checks the context first, so a cancelled job stops between
+// columns instead of finishing the whole stability pass.
+func APNContext(ctx context.Context, alg Algorithm, rows [][]float64, k int, full Assignment) (float64, error) {
 	nc := len(rows[0])
 	total := 0.0
 	for j := 0; j < nc; j++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		reduced, err := alg.Cluster(dropColumn(rows, j), k)
 		if err != nil {
 			return 0, fmt.Errorf("cluster: APN with column %d removed: %w", j, err)
@@ -153,11 +163,20 @@ func memberMask(a Assignment, c int) []bool {
 // placed in the same cluster by both the full and the reduced clustering.
 // Lower is better.
 func AD(alg Algorithm, rows [][]float64, k int, full Assignment) (float64, error) {
+	return ADContext(context.Background(), alg, rows, k, full)
+}
+
+// ADContext is AD with cancellation, checked before every
+// leave-one-column-out re-clustering (the expensive step of the measure).
+func ADContext(ctx context.Context, alg Algorithm, rows [][]float64, k int, full Assignment) (float64, error) {
 	nc := len(rows[0])
 	d := DistanceMatrix(rows)
 	n := len(rows)
 	total := 0.0
 	for j := 0; j < nc; j++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		reduced, err := alg.Cluster(dropColumn(rows, j), k)
 		if err != nil {
 			return 0, fmt.Errorf("cluster: AD with column %d removed: %w", j, err)
@@ -219,17 +238,24 @@ func SweepContext(ctx context.Context, algs []Algorithm, rows [][]float64, kMin,
 		return nil, ctx.Err()
 	}
 	out := make([]Scores, len(algs)*nk)
-	err := par.ForEach(ctx, workers, len(out), func(_ context.Context, j int) error {
+	err := par.ForEach(ctx, workers, len(out), func(ctx context.Context, j int) error {
+		// Each sweep point is a full clustering plus 2 x columns stability
+		// re-clusterings; checking the context between those stages (and
+		// inside the column loops) lets a cancelled or deadline-expired job
+		// stop within one sweep point instead of finishing it.
 		alg, k := algs[j/nk], kMin+j%nk
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		a, err := alg.Cluster(rows, k)
 		if err != nil {
 			return err
 		}
-		apn, err := APN(alg, rows, k, a)
+		apn, err := APNContext(ctx, alg, rows, k, a)
 		if err != nil {
 			return err
 		}
-		ad, err := AD(alg, rows, k, a)
+		ad, err := ADContext(ctx, alg, rows, k, a)
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"reflect"
+	"sync/atomic"
 	"testing"
 )
 
@@ -183,5 +184,54 @@ func TestSweepContextPreCancelled(t *testing.T) {
 	cancel()
 	if _, err := SweepContext(ctx, algorithms(), blobs(), 2, 6, 4); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// cancellingAlg cancels the sweep's context after a set number of Cluster
+// calls, modelling a deadline expiring while a sweep point is mid-flight.
+type cancellingAlg struct {
+	Algorithm
+	cancel func()
+	after  int64
+	calls  atomic.Int64
+}
+
+func (a *cancellingAlg) Cluster(rows [][]float64, k int) (Assignment, error) {
+	if a.calls.Add(1) >= a.after {
+		a.cancel()
+	}
+	return a.Algorithm.Cluster(rows, k)
+}
+
+// TestSweepStopsWithinSweepPoint asserts a cancelled sweep stops *inside*
+// a sweep point: once the context dies after the full clustering, neither
+// stability measure may run its leave-one-column-out re-clusterings.
+func TestSweepStopsWithinSweepPoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	alg := &cancellingAlg{Algorithm: algorithms()[0], cancel: cancel, after: 1}
+	if _, err := SweepContext(ctx, []Algorithm{alg}, blobs(), 2, 6, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// One full clustering ran; the 2 x columns stability re-clusterings of
+	// that sweep point (and every later point) must have been skipped.
+	if n := alg.calls.Load(); n != 1 {
+		t.Fatalf("algorithm ran %d times after cancellation, want 1", n)
+	}
+}
+
+func TestStabilityMeasuresPreCancelled(t *testing.T) {
+	rows := blobs()
+	full, err := algorithms()[0].Cluster(rows, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := APNContext(ctx, algorithms()[0], rows, 3, full); !errors.Is(err, context.Canceled) {
+		t.Fatalf("APNContext: err = %v, want context.Canceled", err)
+	}
+	if _, err := ADContext(ctx, algorithms()[0], rows, 3, full); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ADContext: err = %v, want context.Canceled", err)
 	}
 }

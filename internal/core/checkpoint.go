@@ -1,0 +1,157 @@
+// Crash-safe collection: the glue between the collection fan-out and
+// internal/checkpoint. Every completed (unit, run) is persisted atomically,
+// and a resumed collection restores those pairs bit-for-bit — including the
+// monotonic attempt counter, so post-restore outlier re-runs draw the same
+// fault-injection decisions an uninterrupted collection would.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+
+	"mobilebench/internal/checkpoint"
+	"mobilebench/internal/sim"
+	"mobilebench/internal/workload"
+)
+
+// collectFingerprint binds a checkpoint to everything that shapes per-run
+// results: the run count, the unit list, the simulator configuration
+// (seed, sampling, platform), the fault injector and the retry knobs that
+// decide which attempt of a faulted run finally lands (MaxRetries,
+// RunTimeout). Assembly-only knobs (MinRuns, outlier thresholds, FailFast,
+// backoff pacing) are deliberately excluded: they do not alter what a
+// completed (unit, run) measured, so restored records stay exact under
+// them. Injectors built with fault.NewFunc (the test seam) hash as their
+// zero Config; tests resuming across processes must install an equivalent
+// plan function themselves.
+func collectFingerprint(cfg sim.Config, runs int, units []workload.Workload, pol Resilience) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "mbckpt-v1|runs=%d", runs)
+	fmt.Fprintf(h, "|seed=%d|tick=%g|cache=%d|branch=%d|refresh=%d|rjit=%g|noise=%g|gov=%q|throttle=%t",
+		cfg.Seed, cfg.TickSec, cfg.CacheSamples, cfg.BranchSamples, cfg.RefreshTicks,
+		cfg.RuntimeJitterRel, cfg.NoiseRel, cfg.Governor, cfg.EnableThermalThrottle)
+	// The platform digest covers every cluster/GPU/AIE/memory parameter;
+	// %+v renders structs field by field and maps in sorted key order, so
+	// the rendering is deterministic for a given binary.
+	fmt.Fprintf(h, "|plat=%+v", cfg.Platform)
+	if cfg.Fault != nil {
+		fmt.Fprintf(h, "|fault=%+v", cfg.Fault.Config())
+	}
+	fmt.Fprintf(h, "|retries=%d|runtimeout=%d", pol.MaxRetries, int64(pol.RunTimeout))
+	for _, u := range units {
+		fmt.Fprintf(h, "|u=%q", u.Name)
+	}
+	return h.Sum64()
+}
+
+// CheckpointFingerprint returns the fingerprint a checkpoint written for
+// these options carries — the value Load verifies before restoring a
+// single record. Exposed for tooling and tests that inspect snapshots.
+func (o Options) CheckpointFingerprint() (uint64, error) {
+	if err := o.Validate(); err != nil {
+		return 0, err
+	}
+	runs := o.Runs
+	if runs <= 0 {
+		runs = 3
+	}
+	units := o.Units
+	if units == nil {
+		units = workload.AnalysisUnits()
+	}
+	eng, err := sim.New(o.Sim)
+	if err != nil {
+		return 0, err
+	}
+	return collectFingerprint(eng.Config(), runs, units, o.Resilience), nil
+}
+
+// collectCheckpoint is the per-collection checkpoint state: the records
+// restored from a previous process and the writer persisting new ones.
+type collectCheckpoint struct {
+	restored *checkpoint.Snapshot
+	writer   *checkpoint.Writer
+}
+
+// openCollectCheckpoint prepares checkpointing for a collection. With
+// resume set, an existing snapshot is loaded and verified (checksum,
+// schema version, options fingerprint — each failing with its typed
+// error); a missing file is simply a fresh start.
+func openCollectCheckpoint(path string, resume bool, fingerprint uint64) (*collectCheckpoint, error) {
+	cc := &collectCheckpoint{}
+	var seed []checkpoint.RunRecord
+	if resume {
+		snap, err := checkpoint.Load(path, fingerprint)
+		switch {
+		case err == nil:
+			cc.restored = snap
+			seed = snap.Records
+		case errors.Is(err, fs.ErrNotExist):
+			// Nothing to resume; start clean.
+		default:
+			return nil, err
+		}
+	}
+	cc.writer = checkpoint.NewWriter(path, fingerprint, seed)
+	return cc, nil
+}
+
+// restore loads the persisted record for (unit, run) into st, reporting
+// whether the pair can be skipped. A failed record is restored as the
+// permanent RunError it was, so MinRuns degradation and error aggregation
+// behave exactly as they did in the interrupted process.
+func (cc *collectCheckpoint) restore(unit string, run int, st *runState) bool {
+	if cc == nil || cc.restored == nil {
+		return false
+	}
+	rec := cc.restored.Find(unit, run)
+	if rec == nil {
+		return false
+	}
+	if rec.Failed {
+		st.res = nil
+		st.perm = &RunError{Unit: unit, Run: run, Attempt: rec.FailedAttempt, Cause: errors.New(rec.FailedCause)}
+	} else {
+		if rec.Result == nil || rec.Result.Trace == nil {
+			return false
+		}
+		st.res = rec.Result
+		st.perm = nil
+	}
+	st.next = rec.NextAttempt
+	st.prov = RunProvenance{
+		Run:             run,
+		Attempts:        rec.Attempts,
+		RepairedSamples: rec.RepairedSamples,
+		OutlierReruns:   rec.OutlierReruns,
+		Faults:          append([]string(nil), rec.Faults...),
+	}
+	return true
+}
+
+// record persists the completed (unit, run) state atomically; after it
+// returns, a killed process can resume past this pair.
+func (cc *collectCheckpoint) record(unit string, run int, st *runState) error {
+	if cc == nil {
+		return nil
+	}
+	rec := checkpoint.RunRecord{
+		Unit:            unit,
+		Run:             run,
+		NextAttempt:     st.next,
+		Attempts:        st.prov.Attempts,
+		RepairedSamples: st.prov.RepairedSamples,
+		OutlierReruns:   st.prov.OutlierReruns,
+		Faults:          append([]string(nil), st.prov.Faults...),
+	}
+	if st.perm != nil {
+		rec.Failed = true
+		rec.FailedAttempt = st.perm.Attempt
+		rec.FailedCause = st.perm.Cause.Error()
+	} else {
+		rec.Result = st.res
+	}
+	return cc.writer.Put(rec)
+}

@@ -40,6 +40,18 @@ type Options struct {
 	// re-runs, trace repair and MinRuns degradation. The zero value keeps
 	// the strict historical behaviour (one attempt, every run required).
 	Resilience Resilience
+	// Checkpoint, when non-empty, names a snapshot file: every completed
+	// (unit, run) is persisted there atomically (temp + fsync + rename),
+	// so a killed process loses at most the pair it was simulating.
+	// The file is left in place after a successful collection.
+	Checkpoint string
+	// Resume restores completed (unit, run) pairs from the Checkpoint
+	// snapshot before collecting, re-running only the remainder; the
+	// resulting Dataset is bit-identical to an uninterrupted collection.
+	// A missing snapshot is a fresh start; a corrupt, version-skewed or
+	// stale (options-mismatched) snapshot fails with a typed error from
+	// internal/checkpoint instead of silently poisoning figures.
+	Resume bool
 }
 
 // Unit is one characterized benchmark.
@@ -132,6 +144,14 @@ func CollectContext(ctx context.Context, opts Options) (*Dataset, error) {
 	pol := opts.Resilience
 	ds := &Dataset{Runs: runs, Workers: opts.Workers}
 
+	var ckpt *collectCheckpoint
+	if opts.Checkpoint != "" {
+		fp := collectFingerprint(eng.Config(), runs, units, pol)
+		if ckpt, err = openCollectCheckpoint(opts.Checkpoint, opts.Resume, fp); err != nil {
+			return nil, err
+		}
+	}
+
 	// One job per (unit, run) pair rather than per unit: with 18 units the
 	// longest unit would otherwise bound the tail; 54 jobs keep every core
 	// busy until the end.
@@ -144,7 +164,14 @@ func CollectContext(ctx context.Context, opts Options) (*Dataset, error) {
 	}
 	err = par.ForEach(ctx, opts.Workers, len(units)*runs, func(ctx context.Context, j int) error {
 		ui, r := j/runs, j%runs
-		return collectRun(ctx, eng, units[ui], r, pol, states[ui][r])
+		st := states[ui][r]
+		if ckpt.restore(units[ui].Name, r, st) {
+			return nil
+		}
+		if err := collectRun(ctx, eng, units[ui], r, pol, st); err != nil {
+			return err
+		}
+		return ckpt.record(units[ui].Name, r, st)
 	})
 	if err != nil {
 		return nil, err

@@ -77,6 +77,9 @@ func (o Options) Validate() error {
 			return &OptionError{f.name, f.v, "must be a finite value >= 0 (0 selects the default)"}
 		}
 	}
+	if o.Resume && o.Checkpoint == "" {
+		return &OptionError{"Resume", o.Resume, "requires Checkpoint to name the snapshot file to resume from"}
+	}
 	seen := make(map[string]bool, len(o.Units))
 	for _, u := range o.Units {
 		if u.Name == "" {

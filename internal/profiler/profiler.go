@@ -114,6 +114,31 @@ func (t *Trace) Metrics() []string { return append([]string(nil), t.order...) }
 // NumMetrics returns how many metrics the trace carries.
 func (t *Trace) NumMetrics() int { return len(t.order) }
 
+// BuildTrace assembles a Trace from fully populated series — the restore
+// path for persisted runs (internal/checkpoint). Metric order is the slice
+// order, exactly as Metrics() reported it at save time, so a rebuilt trace
+// is bit-identical to the one that was persisted. Series lengths are not
+// required to equal samples (a crash-persisted trace may carry dropped
+// tails awaiting Repair), but negative shapes and duplicate or empty
+// metric names are rejected.
+func BuildTrace(dt float64, samples int, series []*trace.Series) (*Trace, error) {
+	if samples < 0 {
+		return nil, fmt.Errorf("profiler: BuildTrace with negative sample count %d", samples)
+	}
+	t := &Trace{DT: dt, Samples: samples, series: make(map[string]*trace.Series, len(series))}
+	for _, s := range series {
+		if s == nil || s.Name == "" {
+			return nil, fmt.Errorf("profiler: BuildTrace with a nil or unnamed series")
+		}
+		if _, dup := t.series[s.Name]; dup {
+			return nil, fmt.Errorf("profiler: BuildTrace with duplicate metric %q", s.Name)
+		}
+		t.series[s.Name] = s
+		t.order = append(t.order, s.Name)
+	}
+	return t, nil
+}
+
 // MeanTraces averages runs sample-by-sample (the paper averages three runs
 // per benchmark). Runs may differ slightly in length due to run-to-run
 // jitter; each series is resampled to the shortest run's length first.

@@ -1,0 +1,174 @@
+// Job specs and their execution: each kind maps onto one of the pipeline's
+// analyses, collected through the crash-safe checkpointed path so an
+// interrupted job resumes instead of restarting.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"mobilebench/internal/cluster"
+	"mobilebench/internal/core"
+	"mobilebench/internal/fault"
+	"mobilebench/internal/sim"
+	"mobilebench/internal/workload"
+)
+
+// Spec is a submitted job description (the POST /jobs body).
+type Spec struct {
+	// Kind selects the analysis: "characterize", "cluster" or "subset".
+	Kind string `json:"kind"`
+	// Units names the benchmarks to collect (default: all 18 analysis
+	// units).
+	Units []string `json:"units,omitempty"`
+	// Runs is the runs averaged per benchmark (default 3).
+	Runs int `json:"runs,omitempty"`
+	// Seed overrides the simulation seed (default 888).
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers bounds the collection's parallelism (0 = all cores).
+	Workers int `json:"workers,omitempty"`
+	// MaxRetries / MinRuns configure the self-healing policy.
+	MaxRetries int `json:"max_retries,omitempty"`
+	MinRuns    int `json:"min_runs,omitempty"`
+	// Inject is a fault-injection spec ("crash=0.2,seed=7"), normally "".
+	Inject string `json:"inject,omitempty"`
+	// TimeoutSec overrides the server's per-job deadline (0 = server
+	// default).
+	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// K and Algorithm configure the "cluster" kind (defaults 5, "kmeans").
+	K         int    `json:"k,omitempty"`
+	Algorithm string `json:"algorithm,omitempty"`
+}
+
+// Validate rejects a malformed spec at admission, before it costs a queue
+// slot.
+func (sp Spec) Validate() error {
+	switch sp.Kind {
+	case "characterize", "subset":
+	case "cluster":
+		if sp.K < 0 {
+			return fmt.Errorf("server: k must be >= 0")
+		}
+		if a := sp.Algorithm; a != "" && a != "kmeans" && a != "pam" && a != "hierarchical" {
+			return fmt.Errorf("server: unknown clustering algorithm %q", a)
+		}
+	default:
+		return fmt.Errorf("server: unknown job kind %q (want characterize, cluster or subset)", sp.Kind)
+	}
+	if sp.Runs < 0 || sp.Workers < 0 || sp.MaxRetries < 0 || sp.MinRuns < 0 || sp.TimeoutSec < 0 {
+		return fmt.Errorf("server: negative counts are invalid")
+	}
+	for _, name := range sp.Units {
+		if _, err := workload.ByName(name); err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+	}
+	if _, err := fault.Parse(sp.Inject); err != nil {
+		return err
+	}
+	return nil
+}
+
+// characterizeResult is the "characterize" kind's output.
+type characterizeResult struct {
+	Units           []unitResult `json:"units"`
+	TotalRuntimeSec float64      `json:"total_runtime_sec"`
+	Degraded        bool         `json:"degraded"`
+}
+
+type unitResult struct {
+	Name       string  `json:"name"`
+	RuntimeSec float64 `json:"runtime_sec"`
+	IPC        float64 `json:"ipc"`
+	CacheMPKI  float64 `json:"cache_mpki"`
+	BranchMPKI float64 `json:"branch_mpki"`
+	CPULoad    float64 `json:"cpu_load"`
+	GPULoad    float64 `json:"gpu_load"`
+	AIELoad    float64 `json:"aie_load"`
+	AvgPowerW  float64 `json:"avg_power_w"`
+}
+
+// execute runs the job's collection (checkpointed, always resuming from
+// whatever a previous process finished) and derives its kind's result.
+func (s *Server) execute(ctx context.Context, job *Job) (json.RawMessage, error) {
+	sp := job.Spec
+	var units []workload.Workload
+	for _, name := range sp.Units {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, w)
+	}
+	inj, err := fault.Parse(sp.Inject)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := core.CollectContext(ctx, core.Options{
+		Sim:     sim.Config{Seed: sp.Seed, Fault: inj},
+		Runs:    sp.Runs,
+		Units:   units,
+		Workers: sp.Workers,
+		Resilience: core.Resilience{
+			MaxRetries: sp.MaxRetries,
+			MinRuns:    sp.MinRuns,
+		},
+		// Resume unconditionally: a fresh job finds no snapshot (fresh
+		// start), an interrupted one finds its own completed pairs.
+		Checkpoint: s.checkpointPath(job),
+		Resume:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var result any
+	switch sp.Kind {
+	case "characterize":
+		res := characterizeResult{TotalRuntimeSec: ds.TotalRuntimeSec(), Degraded: ds.Degraded()}
+		for _, u := range ds.Units {
+			res.Units = append(res.Units, unitResult{
+				Name:       u.Workload.Name,
+				RuntimeSec: u.Agg.RuntimeSec,
+				IPC:        u.Agg.IPC,
+				CacheMPKI:  u.Agg.CacheMPKI,
+				BranchMPKI: u.Agg.BranchMPKI,
+				CPULoad:    u.Agg.AvgCPULoad,
+				GPULoad:    u.Agg.AvgGPULoad,
+				AIELoad:    u.Agg.AvgAIELoad,
+				AvgPowerW:  u.Agg.AvgPowerW,
+			})
+		}
+		result = res
+	case "cluster":
+		k := sp.K
+		if k == 0 {
+			k = 5
+		}
+		var alg cluster.Algorithm
+		switch sp.Algorithm {
+		case "", "kmeans":
+			alg = cluster.NewKMeans()
+		case "pam":
+			alg = cluster.NewPAM()
+		case "hierarchical":
+			alg = cluster.NewHierarchical()
+		default:
+			return nil, fmt.Errorf("server: unknown clustering algorithm %q", sp.Algorithm)
+		}
+		c, err := ds.ClusterWith(alg, k)
+		if err != nil {
+			return nil, err
+		}
+		result = c
+	case "subset":
+		reds, err := ds.TableVI()
+		if err != nil {
+			return nil, err
+		}
+		result = reds
+	default:
+		return nil, fmt.Errorf("server: unknown job kind %q", sp.Kind)
+	}
+	return json.Marshal(result)
+}

@@ -1,0 +1,478 @@
+// Package server is the resilient characterization service behind
+// cmd/mbserved: characterize/cluster/subset jobs run through a bounded
+// queue with load shedding, per-job deadlines, per-job panic isolation and
+// crash-safe state. Every accepted job is persisted before its 202 leaves
+// the handler, every collection checkpoints through internal/checkpoint,
+// and a drained or killed server resumes its unfinished jobs on restart —
+// zero accepted jobs are ever lost.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mobilebench/internal/checkpoint"
+	"mobilebench/internal/par"
+)
+
+// Job states. A job is accepted as StatusQueued, picked up as
+// StatusRunning, and ends as StatusDone, StatusFailed or — when the server
+// drains or dies mid-run — StatusInterrupted, from which a restarted
+// server resumes it.
+const (
+	StatusQueued      = "queued"
+	StatusRunning     = "running"
+	StatusDone        = "done"
+	StatusFailed      = "failed"
+	StatusInterrupted = "interrupted"
+)
+
+// Config configures a Server.
+type Config struct {
+	// StateDir holds the per-job records (<id>.json) and collection
+	// checkpoints (<id>.ckpt). Required.
+	StateDir string
+	// QueueDepth bounds the jobs waiting to run; submissions beyond it are
+	// shed with 429 + Retry-After (default 8).
+	QueueDepth int
+	// MaxConcurrent bounds the jobs running at once (default 1: the
+	// collections themselves already parallelize).
+	MaxConcurrent int
+	// JobTimeout is the per-job deadline when the job's spec does not set
+	// one (0 = no deadline).
+	JobTimeout time.Duration
+	// DrainGrace is how long Shutdown lets in-flight jobs keep running
+	// before cancelling them; cancelled jobs resume from their checkpoint
+	// on restart (default 2s).
+	DrainGrace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 1
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 2 * time.Second
+	}
+	return c
+}
+
+// Job is the persisted record of one submitted job.
+type Job struct {
+	ID     string `json:"id"`
+	Spec   Spec   `json:"spec"`
+	Status string `json:"status"`
+	// Seq is the admission sequence number (panic reports reference it).
+	Seq int `json:"seq"`
+	// Error holds the failure cause for StatusFailed.
+	Error string `json:"error,omitempty"`
+	// Result holds the job's output for StatusDone.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Server runs jobs from a bounded queue over a fixed worker pool.
+type Server struct {
+	cfg Config
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job IDs in admission order
+	seq      int
+	draining bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	// execHook replaces execute in tests (panic-isolation coverage).
+	execHook func(context.Context, *Job) (json.RawMessage, error)
+}
+
+// New builds a server, recovering any unfinished jobs found in
+// cfg.StateDir: queued, running and interrupted records are re-enqueued
+// (their collections resume from the <id>.ckpt snapshot), finished ones
+// are served read-only.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.StateDir == "" {
+		return nil, fmt.Errorf("server: Config.StateDir is required")
+	}
+	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Server{cfg: cfg, jobs: make(map[string]*Job)}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+
+	recovered, err := s.loadState()
+	if err != nil {
+		return nil, err
+	}
+	// The queue must hold every recovered job plus a full round of new
+	// admissions, so startup recovery can never deadlock on its own queue.
+	s.queue = make(chan *Job, cfg.QueueDepth+len(recovered))
+	for _, job := range recovered {
+		job.Status = StatusQueued
+		job.Error = ""
+		if err := s.persist(job); err != nil {
+			return nil, err
+		}
+		s.queue <- job
+	}
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// loadState reads every persisted job record, returning the unfinished
+// ones in admission order.
+func (s *Server) loadState() ([]*Job, error) {
+	ents, err := os.ReadDir(s.cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	var unfinished []*Job
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.cfg.StateDir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var job Job
+		if err := json.Unmarshal(data, &job); err != nil {
+			return nil, fmt.Errorf("server: corrupt job record %s: %w", e.Name(), err)
+		}
+		s.jobs[job.ID] = &job
+		s.order = append(s.order, job.ID)
+		if job.Seq >= s.seq {
+			s.seq = job.Seq + 1
+		}
+		switch job.Status {
+		case StatusDone, StatusFailed:
+		default:
+			unfinished = append(unfinished, &job)
+		}
+	}
+	sort.Slice(s.order, func(i, j int) bool { return s.jobs[s.order[i]].Seq < s.jobs[s.order[j]].Seq })
+	sort.Slice(unfinished, func(i, j int) bool { return unfinished[i].Seq < unfinished[j].Seq })
+	return unfinished, nil
+}
+
+// persist writes the job record atomically; after it returns the job
+// survives a process kill.
+func (s *Server) persist(job *Job) error {
+	data, err := json.MarshalIndent(job, "", "  ")
+	if err != nil {
+		return err
+	}
+	return checkpoint.WriteFile(filepath.Join(s.cfg.StateDir, job.ID+".json"), data, 0o644)
+}
+
+func (s *Server) checkpointPath(job *Job) string {
+	return filepath.Join(s.cfg.StateDir, job.ID+".ckpt")
+}
+
+// Submit admits a job, persists it and queues it. It returns a copy of
+// the admitted record (the worker mutates the live one), or an error
+// satisfying Overloaded() / Draining() when shedding.
+func (s *Server) Submit(spec Spec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return Job{}, errDraining
+	}
+	seq := s.seq
+	s.seq++
+	job := &Job{ID: fmt.Sprintf("job-%06d", seq), Spec: spec, Status: StatusQueued, Seq: seq}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.mu.Unlock()
+
+	// Persist before queueing: once the client hears "accepted", not even
+	// kill -9 loses the job.
+	if err := s.persist(job); err != nil {
+		s.forget(job.ID)
+		return Job{}, err
+	}
+	// The send happens under the lock Shutdown closes the queue under, so
+	// a drain racing a submission can never send on a closed channel.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.discard(job.ID)
+		return Job{}, errDraining
+	}
+	select {
+	case s.queue <- job:
+		admitted := *job
+		s.mu.Unlock()
+		return admitted, nil
+	default:
+		s.mu.Unlock()
+		// Shed load instead of queueing unboundedly; drop the record so a
+		// restart does not resurrect a job the client was told to retry.
+		s.discard(job.ID)
+		return Job{}, errOverloaded
+	}
+}
+
+// discard forgets a job that was persisted but never queued.
+func (s *Server) discard(id string) {
+	s.forget(id)
+	_ = os.Remove(filepath.Join(s.cfg.StateDir, id+".json"))
+}
+
+func (s *Server) forget(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.jobs, id)
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Get returns a copy of the job record.
+func (s *Server) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *job, true
+}
+
+// Jobs returns copies of every job record in admission order.
+func (s *Server) Jobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, *s.jobs[id])
+	}
+	return out
+}
+
+func (s *Server) setStatus(job *Job, status, errMsg string, result json.RawMessage) error {
+	s.mu.Lock()
+	job.Status = status
+	job.Error = errMsg
+	job.Result = result
+	s.mu.Unlock()
+	return s.persist(job)
+}
+
+// worker consumes the queue until Shutdown closes it. Once draining, the
+// remaining queued jobs are left persisted as queued for the next process
+// instead of being started.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			continue // stays persisted as queued; the restart re-enqueues it
+		}
+		s.runJob(job)
+	}
+}
+
+// runJob executes one job with its deadline and panic isolation, and
+// persists the terminal state.
+func (s *Server) runJob(job *Job) {
+	if err := s.setStatus(job, StatusRunning, "", nil); err != nil {
+		_ = s.setStatus(job, StatusFailed, err.Error(), nil)
+		return
+	}
+	ctx := s.baseCtx
+	timeout := s.cfg.JobTimeout
+	if t := job.Spec.TimeoutSec; t > 0 {
+		timeout = time.Duration(t * float64(time.Second))
+	}
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	result, err := s.executeIsolated(ctx, job)
+	switch {
+	case err == nil:
+		_ = s.setStatus(job, StatusDone, "", result)
+	case s.baseCtx.Err() != nil:
+		// The server is draining or dying, not the job failing: leave it
+		// resumable. Completed (unit, run) pairs are already on disk.
+		_ = s.setStatus(job, StatusInterrupted, "", nil)
+	default:
+		_ = s.setStatus(job, StatusFailed, err.Error(), nil)
+	}
+}
+
+// executeIsolated runs the job, converting a panic into the same typed
+// error the collection fan-out uses, so one buggy job cannot kill the
+// service.
+func (s *Server) executeIsolated(ctx context.Context, job *Job) (result json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &par.PanicError{Job: job.Seq, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if s.execHook != nil {
+		return s.execHook(ctx, job)
+	}
+	return s.execute(ctx, job)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server: admission stops immediately, queued jobs
+// stay persisted for the next process, and in-flight jobs get DrainGrace
+// to finish before their contexts are cancelled (interrupting them at a
+// checkpointed boundary). It returns once every worker has exited.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("server: already draining")
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	grace := time.NewTimer(s.cfg.DrainGrace)
+	defer grace.Stop()
+	select {
+	case <-done:
+	case <-grace.C:
+		s.cancel()
+		<-done
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+	}
+	s.cancel()
+	return nil
+}
+
+// Typed shedding errors -----------------------------------------------------
+
+type shedError struct {
+	msg        string
+	overloaded bool
+}
+
+func (e *shedError) Error() string { return e.msg }
+
+var (
+	errOverloaded = &shedError{"server: queue full, retry later", true}
+	errDraining   = &shedError{"server: draining, not accepting jobs", false}
+)
+
+// HTTP ----------------------------------------------------------------------
+
+// Handler returns the service's HTTP API:
+//
+//	POST /jobs      submit a job (202, or 429 + Retry-After / 503 shedding)
+//	GET  /jobs      list jobs
+//	GET  /jobs/{id} one job's record (status, error, result)
+//	GET  /healthz   process liveness
+//	GET  /readyz    admission readiness (503 while draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		var shed *shedError
+		switch {
+		case errors.As(err, &shed) && shed.overloaded:
+			// Load shedding: tell the client when the queue likely has room
+			// again rather than letting it hammer a full server.
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+		case errors.As(err, &shed):
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		default:
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID, "status": job.Status})
+}
+
+// retryAfterSec is the Retry-After hint on shed submissions.
+const retryAfterSec = 5
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

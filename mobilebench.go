@@ -194,6 +194,17 @@ type Options struct {
 	// (normally nil). Whenever every injected fault recovers through a
 	// clean retry, the result is bit-identical to a fault-free run.
 	Inject *FaultInjector
+
+	// Checkpoint, when non-empty, names a snapshot file persisting every
+	// completed (benchmark, run) atomically, so a killed characterization
+	// loses at most the pair it was simulating.
+	Checkpoint string
+	// Resume restores completed (benchmark, run) pairs from the Checkpoint
+	// snapshot before collecting the remainder; the result is bit-identical
+	// to an uninterrupted characterization. A missing snapshot is a fresh
+	// start; a corrupt, version-skewed or options-mismatched one fails with
+	// a typed error from internal/checkpoint.
+	Resume bool
 }
 
 // Characterization is the analysed dataset; all of the paper's tables,
@@ -228,6 +239,8 @@ func CharacterizeContext(ctx context.Context, opts Options) (*Characterization, 
 			FailFast:   opts.FailFast,
 			MinRuns:    opts.MinRuns,
 		},
+		Checkpoint: opts.Checkpoint,
+		Resume:     opts.Resume,
 	})
 	if err != nil {
 		return nil, err

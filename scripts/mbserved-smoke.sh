@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for mbserved's drain/resume contract:
+#   1. start the server, submit a deliberately slow job,
+#   2. SIGTERM it mid-run and assert a clean drain that leaves the job
+#      interrupted with a resumable on-disk checkpoint,
+#   3. restart over the same state dir and assert the job completes.
+set -euo pipefail
+
+BIN=${1:?usage: mbserved-smoke.sh path/to/mbserved}
+ADDR=127.0.0.1:8089
+BASE=http://$ADDR
+STATE=$(mktemp -d)
+LOG=$STATE/mbserved.log
+trap 'kill %1 2>/dev/null || true; cat "$LOG" 2>/dev/null || true' EXIT
+
+wait_http() { # wait_http URL SECONDS
+  for _ in $(seq 1 $((10 * $2))); do
+    curl -fsS "$1" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "FAIL: $1 never came up" >&2
+  exit 1
+}
+
+"$BIN" -addr "$ADDR" -state "$STATE" -drain-grace 200ms >>"$LOG" 2>&1 &
+SRV=$!
+wait_http "$BASE/healthz" 10
+
+# A job whose every attempt hangs for 2 s mid-run: slow enough to be
+# in flight when the SIGTERM lands, and the hang does not alter the data.
+ID=$(curl -fsS -d '{"kind":"characterize","units":["Antutu Mem"],"runs":2,"workers":1,"inject":"hang=1,hang_sec=2,clean_after=-1"}' \
+  "$BASE/jobs" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || { echo "FAIL: submission not accepted" >&2; exit 1; }
+echo "accepted $ID"
+
+# Wait until at least one (benchmark, run) is durably checkpointed.
+for _ in $(seq 1 300); do
+  [ -s "$STATE/$ID.ckpt" ] && break
+  sleep 0.1
+done
+[ -s "$STATE/$ID.ckpt" ] || { echo "FAIL: no checkpoint appeared" >&2; exit 1; }
+
+kill -TERM "$SRV"
+wait "$SRV" || { echo "FAIL: mbserved exited non-zero on SIGTERM" >&2; exit 1; }
+grep -q "drained cleanly" "$LOG" || { echo "FAIL: no clean-drain message" >&2; exit 1; }
+
+# The interrupted job must still be on disk, resumable, with its checkpoint.
+grep -q '"status": *"interrupted"' "$STATE/$ID.json" || {
+  echo "FAIL: job record is not interrupted:" >&2
+  cat "$STATE/$ID.json" >&2
+  exit 1
+}
+[ -s "$STATE/$ID.ckpt" ] || { echo "FAIL: checkpoint lost during drain" >&2; exit 1; }
+echo "drained cleanly with $ID interrupted and checkpointed"
+
+# Restart over the same state dir: the job resumes and finishes.
+"$BIN" -addr "$ADDR" -state "$STATE" >>"$LOG" 2>&1 &
+SRV=$!
+wait_http "$BASE/healthz" 10
+for _ in $(seq 1 600); do
+  STATUS=$(curl -fsS "$BASE/jobs/$ID" | sed -n 's/.*"status":"\([^"]*\)".*/\1/p')
+  [ "$STATUS" = done ] && break
+  [ "$STATUS" = failed ] && { echo "FAIL: resumed job failed" >&2; curl -fsS "$BASE/jobs/$ID" >&2; exit 1; }
+  sleep 0.1
+done
+[ "$STATUS" = done ] || { echo "FAIL: resumed job stuck in '$STATUS'" >&2; exit 1; }
+curl -fsS "$BASE/jobs/$ID" | grep -q '"runtime_sec"' || { echo "FAIL: done job has no result" >&2; exit 1; }
+echo "restart resumed $ID to done"
+
+kill -TERM "$SRV"
+wait "$SRV"
+trap - EXIT
+echo "PASS"
