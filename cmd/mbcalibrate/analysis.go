@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"os"
+	"sort"
 
 	"mobilebench/internal/cliflag"
 	"mobilebench/internal/core"
@@ -104,9 +105,14 @@ func runAnalysis(runs, workers int, rf *cliflag.Resilience, cf *cliflag.Checkpoi
 		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
 		os.Exit(1)
 	}
-	for name, curve := range curves {
+	names := make([]string, 0, len(curves))
+	for name := range curves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		fmt.Printf("%-12s:", name)
-		for _, p := range curve {
+		for _, p := range curves[name] {
 			fmt.Printf(" %d:%.2f", p.N, p.Distance)
 		}
 		fmt.Println()

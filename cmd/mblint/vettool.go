@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mobilebench/internal/lint"
+)
+
+// vetConfig is the unit-check configuration cmd/go hands a vet tool: the
+// package's sources plus maps resolving its imports to compiled export
+// data. Field names follow cmd/go/internal/work's vetConfig verbatim.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes one compilation unit described by a cmd/go *.cfg
+// file: the `go vet -vettool=mblint` path. Types for imports come from the
+// export data cmd/go already compiled, so no source re-checking happens.
+func runVetUnit(cfgFile, configPath string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mblint: %v\n", err)
+		return 1
+	}
+	var vc vetConfig
+	if err := json.Unmarshal(data, &vc); err != nil {
+		fmt.Fprintf(os.Stderr, "mblint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// go vet hands every dependency unit to the tool so fact-based
+	// checkers can propagate; mblint keeps no cross-package facts and its
+	// invariants are contracts of THIS module, so dependency-only units
+	// and standard-library packages get an empty facts file and no
+	// diagnostics.
+	if vc.VetxOnly || vc.Standard[vc.ImportPath] {
+		return writeVetx(vc.VetxOutput)
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(vc.GoFiles))
+	names := append([]string(nil), vc.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mblint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through the unit's export-data map, tolerating the
+	// vendor-style path indirection in ImportMap.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := vc.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := vc.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := vc.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tconf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	tpkg, err := tconf.Check(vc.ImportPath, fset, files, info)
+	if err != nil {
+		if vc.SucceedOnTypecheckFailure {
+			return writeVetx(vc.VetxOutput)
+		}
+		fmt.Fprintf(os.Stderr, "mblint: typechecking %s: %v\n", vc.ImportPath, err)
+		return 1
+	}
+
+	cfg := lint.DefaultConfig()
+	if configPath != "" {
+		if cfg, err = lint.LoadConfig(configPath); err != nil {
+			fmt.Fprintf(os.Stderr, "mblint: %v\n", err)
+			return 1
+		}
+	} else if root := moduleRootFor(vc.Dir); root != "" {
+		if c, err := loadConfig("", root); err == nil {
+			cfg = c
+		}
+	}
+
+	pkg := &lint.Package{Path: vc.ImportPath, Dir: vc.Dir, Files: files, Types: tpkg, TypesInfo: info}
+	findings, err := lint.RunAnalyzers([]*lint.Package{pkg}, lint.All(), cfg, fset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mblint: %v\n", err)
+		return 1
+	}
+	lint.Print(os.Stderr, findings)
+	if rc := writeVetx(vc.VetxOutput); rc != 0 {
+		return rc
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// writeVetx writes the (empty) facts file cmd/go expects from a vet tool.
+func writeVetx(path string) int {
+	if path == "" {
+		return 0
+	}
+	if err := os.WriteFile(path, []byte{}, 0o666); err != nil { //mblint:ignore atomicwrite cmd/go owns this cache file and its lifecycle
+		fmt.Fprintf(os.Stderr, "mblint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// moduleRootFor walks up from dir to the nearest go.mod, or "".
+func moduleRootFor(dir string) string {
+	for dir != "" {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+	return ""
+}

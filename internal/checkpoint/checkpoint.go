@@ -339,7 +339,10 @@ func (d *decoder) record() (RunRecord, error) {
 	dt := d.f64()
 	samples := int(d.u32())
 	nseries := int(d.u32())
-	series := make([]*trace.Series, 0, nseries)
+	// Cap the pre-allocation by what the remaining bytes could possibly
+	// encode (a series costs ≥ 8 bytes), so a corrupt count field cannot
+	// demand gigabytes before the truncation check fires.
+	series := make([]*trace.Series, 0, min(nseries, len(d.data)/8))
 	for i := 0; i < nseries && d.err == nil; i++ {
 		name := d.string()
 		nv := int(d.u32())

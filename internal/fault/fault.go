@@ -369,25 +369,25 @@ func Parse(spec string) (*Injector, error) {
 		case "seed":
 			n, err := strconv.ParseUint(val, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("fault: bad seed %q: %v", val, err)
+				return nil, fmt.Errorf("fault: bad seed %q: %w", val, err)
 			}
 			cfg.Seed = n
 		case "clean_after":
 			n, err := strconv.Atoi(val)
 			if err != nil {
-				return nil, fmt.Errorf("fault: bad clean_after %q: %v", val, err)
+				return nil, fmt.Errorf("fault: bad clean_after %q: %w", val, err)
 			}
 			cfg.CleanAfter = n
 		case "hang_sec":
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil {
-				return nil, fmt.Errorf("fault: bad hang_sec %q: %v", val, err)
+				return nil, fmt.Errorf("fault: bad hang_sec %q: %w", val, err)
 			}
 			cfg.HangSec = f
 		case "crash", "abort", "hang", "panic", "drop", "nan", "skew":
 			f, err := strconv.ParseFloat(val, 64)
 			if err != nil {
-				return nil, fmt.Errorf("fault: bad probability %s=%q: %v", key, val, err)
+				return nil, fmt.Errorf("fault: bad probability %s=%q: %w", key, val, err)
 			}
 			switch key {
 			case "crash":

@@ -1,0 +1,63 @@
+package fault_test
+
+import (
+	"strings"
+	"testing"
+
+	"mobilebench/internal/fault"
+)
+
+// FuzzParse fuzzes the -inject spec parser. Parse sits directly behind a
+// CLI flag, so arbitrary input must never panic, a rejected spec must not
+// leak a half-built injector, and an accepted spec must yield a fully
+// deterministic injector: two Parses of the same spec plan identical
+// faults for every (unit, run, attempt).
+func FuzzParse(f *testing.F) {
+	f.Add("")
+	f.Add("crash=0.2,abort=0.1,hang=0.1,panic=0.05,drop=0.1,nan=0.1,skew=0.1,seed=7,hang_sec=0.5,clean_after=3")
+	f.Add("crash=0.5,seed=9")
+	f.Add("nan=1.5")       // out of range
+	f.Add("bogus=1")       // unknown key
+	f.Add("crash")         // not key=value
+	f.Add(" crash = 0.1 ") // whitespace tolerance
+	f.Add("crash=0.1,,nan=0.2,")
+	f.Add("seed=18446744073709551615")
+	f.Add("seed=-1")
+	f.Add("hang_sec=1e308,hang=1")
+	f.Fuzz(func(t *testing.T, spec string) {
+		inj, err := fault.Parse(spec)
+		if err != nil {
+			if inj != nil {
+				t.Fatal("Parse returned both an injector and an error")
+			}
+			return
+		}
+		if strings.TrimSpace(spec) == "" {
+			if inj != nil {
+				t.Fatal("empty spec must parse to a nil injector")
+			}
+			return
+		}
+		if inj == nil {
+			// A spec of only separators ("," / " , ") also means no faults.
+			return
+		}
+		inj2, err := fault.Parse(spec)
+		if err != nil {
+			t.Fatalf("second Parse of an accepted spec failed: %v", err)
+		}
+		for _, unit := range []string{"", "geekbench", "pcmark"} {
+			for run := 0; run < 3; run++ {
+				for attempt := 0; attempt < 3; attempt++ {
+					if inj.PlanFor(unit, run, attempt) != inj2.PlanFor(unit, run, attempt) {
+						t.Fatalf("PlanFor(%q,%d,%d) differs across two Parses of %q",
+							unit, run, attempt, spec)
+					}
+				}
+			}
+		}
+		if inj.Config() != inj2.Config() {
+			t.Fatalf("normalized Config differs across two Parses of %q", spec)
+		}
+	})
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint hashes the pass registry (names and docs), giving `go vet`'s
+// tool-version probe a cache key that changes whenever the checks do.
+func Fingerprint() string {
+	h := fnv.New64a()
+	for _, a := range All() {
+		fmt.Fprintf(h, "%s\x00%s\x00", a.Name, a.Doc)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// All returns every mblint pass in stable name order: the registry used by
+// cmd/mblint, the vettool mode and the test harness.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicWrite,
+		CtxLoop,
+		ErrWrap,
+		MapIterOrder,
+		NonDeterm,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicWrite flags direct non-atomic file creation — os.Create,
+// os.WriteFile and os.OpenFile(..., O_CREATE, ...) — outside the packages
+// that implement the atomic primitives (internal/checkpoint). A crash
+// mid-write leaves a truncated artifact at the destination; every durable
+// output must go through checkpoint.AtomicFile / checkpoint.WriteFile /
+// checkpoint.WriteTo (temp file + fsync + rename), the PR-3 mbreport bug
+// class. os.WriteFile calls carry a mechanical suggested fix.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc: "flag os.Create/os.WriteFile/os.OpenFile(O_CREATE) outside internal/checkpoint; " +
+		"durable outputs must use checkpoint's atomic temp+fsync+rename helpers.",
+	Run: runAtomicWrite,
+}
+
+func runAtomicWrite(pass *Pass) error {
+	if pathHasSegment(pass.Pkg.Path(), pass.Config.AtomicAllowPkgs) {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		checkpointImported := fileImports(file, "mobilebench/internal/checkpoint")
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := isPkgCall(info, call, "os", "Create", "WriteFile", "OpenFile")
+			if !ok {
+				return true
+			}
+			switch name {
+			case "Create":
+				pass.Reportf(call.Pos(),
+					"os.Create truncates the destination in place; a crash leaves a partial file — use checkpoint.NewAtomicFile (or checkpoint.WriteTo for streamed output)")
+			case "WriteFile":
+				d := Diagnostic{
+					Pos: call.Pos(),
+					Message: "os.WriteFile is not atomic; a crash leaves a truncated file at the destination — " +
+						"use checkpoint.WriteFile (temp+fsync+rename)",
+				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && checkpointImported {
+					// Only offer the one-token rewrite when the import is
+					// already present, so -fix never breaks the build.
+					d.SuggestedFixes = []SuggestedFix{{
+						Message: "replace os.WriteFile with checkpoint.WriteFile",
+						TextEdits: []TextEdit{{
+							Pos: sel.Pos(), End: sel.End(),
+							NewText: []byte("checkpoint.WriteFile"),
+						}},
+					}}
+				}
+				pass.Report(d)
+			case "OpenFile":
+				if len(call.Args) >= 2 && exprMentionsOsFlag(info, call.Args[1], "O_CREATE") {
+					pass.Reportf(call.Pos(),
+						"os.OpenFile with O_CREATE writes the destination in place; route durable outputs through checkpoint.AtomicFile")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fileImports reports whether file imports path.
+func fileImports(file *ast.File, path string) bool {
+	for _, imp := range file.Imports {
+		if imp.Path.Value == `"`+path+`"` {
+			return true
+		}
+	}
+	return false
+}
+
+// exprMentionsOsFlag reports whether the flag expression references
+// os.<name> anywhere in its |-combination.
+func exprMentionsOsFlag(info *types.Info, e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != name {
+			return !found
+		}
+		if obj := info.ObjectOf(id); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

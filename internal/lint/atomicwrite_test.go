@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mobilebench/internal/lint"
+	"mobilebench/internal/lint/linttest"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	// a holds the violations, b the blessed checkpoint.AtomicFile write
+	// paths, and checkpoint the allowlisted implementation package.
+	linttest.Run(t, lint.AtomicWrite, nil,
+		"atomicwrite/a", "atomicwrite/b", "atomicwrite/checkpoint")
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path"
+	"strings"
+)
+
+// Config tunes the passes per repository. The zero value is unusable; use
+// DefaultConfig (the checked-in policy for this module) or LoadConfig,
+// which overlays a JSON file on the defaults so a config file only needs
+// to state deviations.
+type Config struct {
+	// ModulePath is the module whose packages count as "our code" (work
+	// calls for ctxloop, boundary crossings for errwrap).
+	ModulePath string `json:"module"`
+
+	// DeterministicPkgs lists import-path segments naming the packages
+	// whose outputs must be bit-identical across runs; nondeterm forbids
+	// wall clocks and global randomness inside them.
+	DeterministicPkgs []string `json:"deterministic_pkgs"`
+
+	// AtomicAllowPkgs lists import-path segments allowed to call
+	// os.Create/os.WriteFile directly — the packages that implement the
+	// atomic-write primitives themselves.
+	AtomicAllowPkgs []string `json:"atomic_allow_pkgs"`
+
+	// SafeCallPkgs lists standard-library packages whose calls do not
+	// count as "work" for ctxloop: pure in-memory helpers a tight loop may
+	// call without a cancellation point.
+	SafeCallPkgs []string `json:"safe_call_pkgs"`
+
+	// Exclude maps a pass name to package patterns it must skip. A
+	// pattern is an import path, an import-path glob (path.Match), or a
+	// prefix ending in "/..." matching the whole subtree.
+	Exclude map[string][]string `json:"exclude"`
+}
+
+// DefaultConfig returns this repository's checked-in lint policy.
+func DefaultConfig() *Config {
+	return &Config{
+		ModulePath: "mobilebench",
+		DeterministicPkgs: []string{
+			"core", "sim", "cluster", "stats", "subset", "fault", "checkpoint",
+		},
+		AtomicAllowPkgs: []string{"checkpoint"},
+		SafeCallPkgs: []string{
+			"fmt", "strings", "strconv", "sort", "errors", "math", "math/bits",
+			"bytes", "unicode", "unicode/utf8", "slices", "maps", "cmp",
+		},
+		Exclude: map[string][]string{},
+	}
+}
+
+// LoadConfig reads a JSON config file and overlays it on DefaultConfig:
+// absent or empty fields keep their defaults, present fields replace them.
+func LoadConfig(file string) (*Config, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var over Config
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&over); err != nil {
+		return nil, fmt.Errorf("lint: parsing config %s: %w", file, err)
+	}
+	cfg := DefaultConfig()
+	if over.ModulePath != "" {
+		cfg.ModulePath = over.ModulePath
+	}
+	if len(over.DeterministicPkgs) > 0 {
+		cfg.DeterministicPkgs = over.DeterministicPkgs
+	}
+	if len(over.AtomicAllowPkgs) > 0 {
+		cfg.AtomicAllowPkgs = over.AtomicAllowPkgs
+	}
+	if len(over.SafeCallPkgs) > 0 {
+		cfg.SafeCallPkgs = over.SafeCallPkgs
+	}
+	if len(over.Exclude) > 0 {
+		cfg.Exclude = over.Exclude
+	}
+	return cfg, nil
+}
+
+// Disabled reports whether pass is excluded for the package.
+func (c *Config) Disabled(pass, importPath string) bool {
+	for _, pat := range c.Exclude[pass] {
+		if matchPkgPattern(pat, importPath) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchPkgPattern matches an import path against an exact path, a
+// path.Match glob, or a "prefix/..." subtree pattern ("..." alone matches
+// everything).
+func matchPkgPattern(pat, importPath string) bool {
+	if pat == "..." {
+		return true
+	}
+	if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+		return importPath == prefix || strings.HasPrefix(importPath, prefix+"/")
+	}
+	if pat == importPath {
+		return true
+	}
+	ok, err := path.Match(pat, importPath)
+	return err == nil && ok
+}
+
+// moduleLocal reports whether importPath belongs to the configured module.
+func (c *Config) moduleLocal(importPath string) bool {
+	return importPath == c.ModulePath || strings.HasPrefix(importPath, c.ModulePath+"/")
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMatchPkgPattern(t *testing.T) {
+	cases := []struct {
+		pat, path string
+		want      bool
+	}{
+		{"...", "mobilebench/internal/core", true},
+		{"mobilebench/internal/core", "mobilebench/internal/core", true},
+		{"mobilebench/internal/core", "mobilebench/internal/cluster", false},
+		{"mobilebench/internal/...", "mobilebench/internal/core", true},
+		{"mobilebench/internal/...", "mobilebench/internal", true},
+		{"mobilebench/internal/...", "mobilebench/cmd/mbchar", false},
+		{"mobilebench/cmd/*", "mobilebench/cmd/mbchar", true},
+		{"mobilebench/cmd/*", "mobilebench/cmd/mbchar/sub", false},
+	}
+	for _, c := range cases {
+		if got := matchPkgPattern(c.pat, c.path); got != c.want {
+			t.Errorf("matchPkgPattern(%q, %q) = %v, want %v", c.pat, c.path, got, c.want)
+		}
+	}
+}
+
+func TestLoadConfigOverlay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mblint.json")
+	body := `{"deterministic_pkgs": ["core"], "exclude": {"ctxloop": ["mobilebench/internal/sim/..."]}}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.DeterministicPkgs) != 1 || cfg.DeterministicPkgs[0] != "core" {
+		t.Errorf("DeterministicPkgs = %v, want [core]", cfg.DeterministicPkgs)
+	}
+	// Untouched fields keep the defaults.
+	if cfg.ModulePath != "mobilebench" {
+		t.Errorf("ModulePath = %q, want default", cfg.ModulePath)
+	}
+	if len(cfg.AtomicAllowPkgs) == 0 {
+		t.Error("AtomicAllowPkgs lost its default")
+	}
+	if !cfg.Disabled("ctxloop", "mobilebench/internal/sim/engine") {
+		t.Error("exclude pattern did not disable ctxloop for the subtree")
+	}
+	if cfg.Disabled("ctxloop", "mobilebench/internal/core") {
+		t.Error("exclude pattern disabled ctxloop for an unrelated package")
+	}
+	if cfg.Disabled("errwrap", "mobilebench/internal/sim/engine") {
+		t.Error("exclude pattern leaked across passes")
+	}
+}
+
+func TestLoadConfigRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mblint.json")
+	if err := os.WriteFile(path, []byte(`{"determinstic_pkgs": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(path); err == nil {
+		t.Error("LoadConfig accepted a misspelled field; typos would silently disable policy")
+	}
+}
+
+func TestParseVerbs(t *testing.T) {
+	verbs, ok := parseVerbs(`"reading %s: %v"`)
+	if !ok || len(verbs) != 2 {
+		t.Fatalf("parseVerbs = %v, %v", verbs, ok)
+	}
+	if verbs[0].verb != 's' || verbs[0].arg != 0 || verbs[1].verb != 'v' || verbs[1].arg != 1 {
+		t.Errorf("verb mapping wrong: %+v", verbs)
+	}
+	if verbs[1].text != "%v" {
+		t.Errorf("verb text = %q, want %%v", verbs[1].text)
+	}
+	if _, ok := parseVerbs(`"%[1]v"`); ok {
+		t.Error("indexed verbs must opt out of sequential mapping")
+	}
+	if _, ok := parseVerbs(`"%*d"`); ok {
+		t.Error("starred width must opt out of sequential mapping")
+	}
+	verbs, ok = parseVerbs(`"100%% done: %.2f"`)
+	if !ok || len(verbs) != 1 || verbs[0].verb != 'f' {
+		t.Errorf("escaped %% handling wrong: %+v ok=%v", verbs, ok)
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	if Fingerprint() != Fingerprint() {
+		t.Error("Fingerprint is not deterministic")
+	}
+}

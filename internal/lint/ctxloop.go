@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoop flags loops inside context-taking functions (CollectContext, the
+// Figure 4 stability sweep, mbserved job paths) that do real work without
+// a cancellation point: the loop neither checks ctx.Err(), selects on
+// ctx.Done(), nor passes the context on to a callee. PR 3 patched exactly
+// this gap in the sweep's stability re-clusterings; a cancelled collection
+// that keeps simulating wastes workers and delays SIGTERM drains.
+//
+// A loop counts as doing work when it calls anything beyond a small set of
+// pure in-memory stdlib helpers (Config.SafeCallPkgs). Loops covered by an
+// enclosing ctx-checking loop are exempt: the outer check bounds the time
+// to the next cancellation point.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc: "flag loops in ctx-taking functions that do work but never consult the context; " +
+		"check ctx.Err() or select on ctx.Done() each iteration so cancellation lands.",
+	Run: runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var ftype *ast.FuncType
+			var name string
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, ftype, name = fn.Body, fn.Type, fn.Name.Name
+			case *ast.FuncLit:
+				body, ftype, name = fn.Body, fn.Type, "func literal"
+			default:
+				return true
+			}
+			if body == nil || !hasCtxParam(pass.TypesInfo, ftype) {
+				return true
+			}
+			walkLoops(pass, body, name, false)
+			return true
+		})
+	}
+	return nil
+}
+
+// hasCtxParam reports whether the function type takes a context.Context.
+func hasCtxParam(info *types.Info, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if isContextType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// walkLoops descends stmts looking for for/range loops, tracking whether
+// an enclosing loop already consults a context. Nested function literals
+// are skipped here — runCtxLoop visits them as functions in their own
+// right when they take a ctx.
+func walkLoops(pass *Pass, n ast.Node, fname string, covered bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		if node == n {
+			return true
+		}
+		switch loop := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopCovered := covered || mentionsContext(pass.TypesInfo, loop)
+			if !loopCovered && doesWork(pass, loopBody(loop)) {
+				pass.Reportf(loop.Pos(),
+					"loop in %s does work but never checks ctx.Err() or selects on ctx.Done(); cancellation and SIGTERM drain cannot interrupt it",
+					fname)
+				// Treat the nest as reported: one finding per outermost gap.
+				loopCovered = true
+			}
+			walkLoops(pass, loopBody(loop), fname, loopCovered)
+			return false
+		}
+		return true
+	})
+}
+
+// loopBody returns the body block of a for or range statement.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// mentionsContext reports whether the loop (condition, post or body, at
+// any depth) references a value of type context.Context — a ctx.Err()
+// check, a ctx.Done() select, or passing ctx to a callee all count.
+func mentionsContext(info *types.Info, loop ast.Node) bool {
+	found := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// doesWork reports whether the block calls anything that is not a pure
+// in-memory helper: any call outside Config.SafeCallPkgs (module code,
+// os, time.Sleep, dynamic function values) is a reason the loop should be
+// interruptible.
+func doesWork(pass *Pass, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	info := pass.TypesInfo
+	safe := make(map[string]bool, len(pass.Config.SafeCallPkgs))
+	for _, p := range pass.Config.SafeCallPkgs {
+		safe[p] = true
+	}
+	work := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || isConversion(info, call) {
+			return !work
+		}
+		switch callee := calleeOf(info, call).(type) {
+		case *types.Builtin:
+			// len, cap, append, delete: never work.
+		case *types.Func:
+			if callee.Pkg() == nil || !safe[callee.Pkg().Path()] {
+				work = true
+			}
+		default:
+			// Dynamic call through a function value: assume work.
+			work = true
+		}
+		return !work
+	})
+	return work
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrWrap enforces cause-preserving error propagation: a fmt.Errorf that
+// formats an error value with %v/%s (or launders it through err.Error())
+// erases its type, so the errors.Is/As chains the retry logic
+// (core.RunError), checkpoint recovery (CorruptError/VersionError/
+// MismatchError) and the CLIs depend on stop matching. Errors crossing
+// package boundaries must be typed or wrapped with %w. Fixable verbs
+// carry a mechanical %v→%w suggested fix.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc: "flag fmt.Errorf calls that format an error with %v/%s or err.Error() instead of " +
+		"wrapping with %w; unwrappable errors break errors.Is/As retry and recovery logic.",
+	Run: runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if _, ok := isPkgCall(info, call, "fmt", "Errorf"); !ok || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			verbs, ok := parseVerbs(lit.Value)
+			if !ok {
+				return true // indexed or starred verbs: too clever to map safely
+			}
+			for _, v := range verbs {
+				if v.verb == 'w' {
+					return true // already wraps a cause
+				}
+			}
+			for _, v := range verbs {
+				argIdx := 1 + v.arg
+				if argIdx >= len(call.Args) {
+					break
+				}
+				arg := call.Args[argIdx]
+				if implementsError(info.TypeOf(arg)) {
+					d := Diagnostic{
+						Pos: arg.Pos(),
+						Message: "fmt.Errorf formats this error with %" + string(v.verb) +
+							", discarding its type; wrap with %w so errors.Is/As (retry, checkpoint recovery) keep matching",
+					}
+					if v.verb == 'v' || v.verb == 's' {
+						d.SuggestedFixes = []SuggestedFix{{
+							Message: "replace %" + string(v.verb) + " with %w",
+							TextEdits: []TextEdit{{
+								Pos:     lit.Pos() + token.Pos(v.off),
+								End:     lit.Pos() + token.Pos(v.off+len(v.text)),
+								NewText: []byte("%w"),
+							}},
+						}}
+					}
+					pass.Report(d)
+					return true
+				}
+				if laundersError(info, arg) {
+					pass.Reportf(arg.Pos(),
+						"err.Error() flattens the cause to a string; pass the error itself and wrap with %%w")
+					return true
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// laundersError reports whether e is a call to (error).Error().
+func laundersError(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return false
+	}
+	return implementsError(info.TypeOf(sel.X))
+}
+
+// fmtVerb is one format verb occurrence in a raw string literal.
+type fmtVerb struct {
+	// verb is the verb rune; arg is its zero-based operand index.
+	verb rune
+	arg  int
+	// off/text locate the whole "%...v" directive inside the raw literal
+	// (quotes included), for byte-exact suggested fixes.
+	off  int
+	text string
+}
+
+// parseVerbs scans a raw (quoted) format literal for verbs, mapping each
+// to its sequential operand. It scans the raw text rather than the
+// unquoted value so edit offsets are exact; '%' never appears inside an
+// escape sequence, so directives read the same either way. ok=false means
+// the format uses explicit argument indexes or * width/precision, which
+// sequential mapping cannot follow.
+func parseVerbs(raw string) ([]fmtVerb, bool) {
+	var verbs []fmtVerb
+	arg := 0
+	for i := 0; i < len(raw); i++ {
+		if raw[i] != '%' {
+			continue
+		}
+		start := i
+		i++
+		for i < len(raw) && (raw[i] == '#' || raw[i] == '+' || raw[i] == '-' ||
+			raw[i] == ' ' || raw[i] == '0' || raw[i] == '.' ||
+			(raw[i] >= '1' && raw[i] <= '9')) {
+			i++
+		}
+		if i >= len(raw) {
+			break
+		}
+		switch raw[i] {
+		case '%':
+			continue
+		case '[', '*':
+			return nil, false
+		}
+		verbs = append(verbs, fmtVerb{
+			verb: rune(raw[i]),
+			arg:  arg,
+			off:  start,
+			text: raw[start : i+1],
+		})
+		arg++
+	}
+	return verbs, true
+}

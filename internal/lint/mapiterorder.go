@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIterOrder flags `for range` over a map whose body has
+// iteration-order-dependent effects: accumulating floating-point values
+// (FP addition is not associative, so map order changes the result bits —
+// the exact cluster.AD bug PR 1 fixed), appending loop-dependent values to
+// a slice, or writing output. The one exempt shape is the canonical
+// collect-keys idiom — `keys = append(keys, k)` with nothing else
+// order-sensitive — because its whole point is to sort afterwards.
+var MapIterOrder = &Analyzer{
+	Name: "mapiterorder",
+	Doc: "flag map iteration whose body accumulates floats, appends values or writes output; " +
+		"Go randomizes map order, so such loops break bit-identical datasets. " +
+		"Collect the keys, sort them, then index the map.",
+	Run: runMapIterOrder,
+}
+
+// orderSink names method calls that emit or retain values in sequence.
+var orderSinkMethods = map[string]bool{
+	"Add": true, "Append": true, "Push": true, "Print": true,
+	"Printf": true, "Println": true, "Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runMapIterOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMap(pass.TypesInfo.TypeOf(rs.X)) {
+				return true
+			}
+			var keyObj types.Object
+			if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+				keyObj = pass.TypesInfo.ObjectOf(id)
+			}
+			if reason := orderSensitive(pass, rs, keyObj); reason != "" {
+				pass.Reportf(rs.For,
+					"iteration over map %s %s; map order is randomized, so results are not reproducible — collect the keys, sort them, then index the map",
+					types.ExprString(rs.X), reason)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// orderSensitive returns a description of the first order-dependent effect
+// in the range body, or "" when the loop is order-safe.
+func orderSensitive(pass *Pass, rs *ast.RangeStmt, keyObj types.Object) string {
+	info := pass.TypesInfo
+	reason := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			switch st.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(st.Lhs) == 1 && isFloat(info.TypeOf(st.Lhs[0])) {
+					reason = "accumulates floating-point values (float addition is order-dependent)"
+				}
+			case token.ASSIGN:
+				for i := range st.Lhs {
+					if i < len(st.Rhs) && isFloat(info.TypeOf(st.Lhs[i])) &&
+						selfReferential(st.Lhs[i], st.Rhs[i]) {
+						reason = "accumulates floating-point values (float addition is order-dependent)"
+					}
+				}
+			}
+		case *ast.SendStmt:
+			reason = "sends loop values on a channel"
+		case *ast.CallExpr:
+			if isConversion(info, st) {
+				return true
+			}
+			switch callee := calleeOf(info, st).(type) {
+			case *types.Builtin:
+				if callee.Name() == "append" && !isKeyCollect(info, st, keyObj) &&
+					appendTargetEscapes(info, st, rs) {
+					reason = "appends loop-dependent values to a slice"
+				}
+			case *types.Func:
+				if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" &&
+					callee.Signature().Recv() == nil &&
+					(strings.HasPrefix(callee.Name(), "Print") || strings.HasPrefix(callee.Name(), "Fprint")) {
+					reason = "writes output (" + callee.Name() + ")"
+					return false
+				}
+				if callee.Signature().Recv() != nil && receiverEscapes(info, st, rs) &&
+					(strings.HasPrefix(callee.Name(), "Write") || orderSinkMethods[callee.Name()]) {
+					reason = "writes to " + callee.Name() + " in iteration order"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// selfReferential reports whether rhs mentions an expression syntactically
+// equal to lhs (x = x + delta counts as accumulation).
+func selfReferential(lhs, rhs ast.Expr) bool {
+	want := types.ExprString(lhs)
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && types.ExprString(e) == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isKeyCollect reports whether the append is the collect-keys idiom: every
+// appended element is exactly the loop's key variable.
+func isKeyCollect(info *types.Info, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil || len(call.Args) < 2 {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok || info.ObjectOf(id) != keyObj {
+			return false
+		}
+	}
+	return true
+}
+
+// appendTargetEscapes reports whether the slice being appended to is
+// declared outside the range statement; appends to per-iteration locals
+// are order-safe.
+func appendTargetEscapes(info *types.Info, call *ast.CallExpr, rs *ast.RangeStmt) bool {
+	id := baseIdent(call.Args[0])
+	if id == nil {
+		return true // fields, captured values: assume it escapes
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return true
+	}
+	return !declaredWithin(obj, rs.Pos(), rs.End())
+}
+
+// receiverEscapes reports whether a method call's receiver chain is rooted
+// outside the range statement.
+func receiverEscapes(info *types.Info, call *ast.CallExpr, rs *ast.RangeStmt) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return true
+	}
+	id := baseIdent(sel.X)
+	if id == nil {
+		return true
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil {
+		return true
+	}
+	return !declaredWithin(obj, rs.Pos(), rs.End())
+}

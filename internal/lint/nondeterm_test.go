@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mobilebench/internal/lint"
+	"mobilebench/internal/lint/linttest"
+)
+
+func TestNonDeterm(t *testing.T) {
+	// core carries a deterministic path segment and holds the positive
+	// cases; other has none and must stay silent with identical code.
+	linttest.Run(t, lint.NonDeterm, nil, "nondeterm/core", "nondeterm/other")
+}

@@ -1,0 +1,36 @@
+// Package a is the atomicwrite fixture: in-place destination writes that
+// must be flagged, and read/temp paths that must not be.
+package a
+
+import "os"
+
+// Save writes the destination non-atomically.
+func Save(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile is not atomic`
+}
+
+// Open truncates the destination in place.
+func Open(path string) (*os.File, error) {
+	return os.Create(path) // want `os.Create truncates the destination`
+}
+
+// AppendLog creates the destination in place.
+func AppendLog(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644) // want `os.OpenFile with O_CREATE`
+}
+
+// ReadOK only reads: clean.
+func ReadOK(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// OpenExistingOK opens without creating: clean.
+func OpenExistingOK(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR, 0)
+}
+
+// TempOK creates only a temp file, the first half of an atomic replace:
+// clean.
+func TempOK(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "out-*")
+}

@@ -1,0 +1,40 @@
+// Package b is the atomicwrite negative fixture: every durable write goes
+// through the blessed checkpoint helpers, so nothing is flagged.
+package b
+
+import (
+	"fmt"
+	"io"
+
+	"mobilebench/internal/checkpoint"
+)
+
+// SaveAtomic uses the temp+fsync+rename write path.
+func SaveAtomic(path string, data []byte) error {
+	return checkpoint.WriteFile(path, data, 0o644)
+}
+
+// StreamAtomic builds the output incrementally, still atomically.
+func StreamAtomic(path string, rows []string) error {
+	return checkpoint.WriteTo(path, func(w io.Writer) error {
+		for _, r := range rows {
+			if _, err := fmt.Fprintln(w, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// ManualAtomic drives AtomicFile directly.
+func ManualAtomic(path string, data []byte) error {
+	a, err := checkpoint.NewAtomicFile(path)
+	if err != nil {
+		return err
+	}
+	defer a.Abort()
+	if _, err := a.Write(data); err != nil {
+		return err
+	}
+	return a.Commit()
+}

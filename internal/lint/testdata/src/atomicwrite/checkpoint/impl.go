@@ -1,0 +1,11 @@
+// Package checkpoint stands in for the package that IMPLEMENTS the atomic
+// primitives; its path segment is allowlisted, so direct os writes are
+// permitted here and nothing is flagged.
+package checkpoint
+
+import "os"
+
+// RawWrite is the kind of call only the primitive implementation may make.
+func RawWrite(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

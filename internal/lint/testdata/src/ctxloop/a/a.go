@@ -1,0 +1,98 @@
+// Package a is the ctxloop fixture: working loops that ignore their
+// context are flagged; checked, selecting, delegating and pure-compute
+// loops are not.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func work() {}
+
+func helper(ctx context.Context) { _ = ctx }
+
+// Uncancellable does work every iteration but never consults ctx.
+func Uncancellable(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // want `never checks ctx.Err`
+		work()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// RangeWork is the range-loop shape of the same gap.
+func RangeWork(ctx context.Context, names []string) {
+	for _, name := range names { // want `never checks ctx.Err`
+		_ = name
+		work()
+	}
+}
+
+// Checked polls ctx.Err each iteration: clean.
+func Checked(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work()
+	}
+	return nil
+}
+
+// Selected blocks on ctx.Done: clean.
+func Selected(ctx context.Context, ch <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+			work()
+		}
+	}
+}
+
+// Delegated hands ctx to the callee, which owns cancellation: clean.
+func Delegated(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		helper(ctx)
+	}
+}
+
+// PureCompute performs no calls, so there is nothing to interrupt: clean.
+func PureCompute(ctx context.Context, xs []float64) float64 {
+	_ = ctx
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// OuterChecked bounds the inner loop with an outer per-iteration check:
+// clean.
+func OuterChecked(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		for j := 0; j < n; j++ {
+			work()
+		}
+	}
+}
+
+// NoCtx takes no context, so the invariant does not apply.
+func NoCtx(n int) {
+	for i := 0; i < n; i++ {
+		work()
+	}
+}
+
+// Suppressed shows a reviewed exception.
+func Suppressed(ctx context.Context, n int) {
+	_ = ctx
+	//mblint:ignore ctxloop fixture demonstrating reviewed suppression
+	for i := 0; i < n; i++ {
+		work()
+	}
+}

@@ -1,0 +1,52 @@
+// Package a is the errwrap fixture: fmt.Errorf calls that flatten a cause
+// are flagged; %w wrapping, typed errors and cause-free errors are not.
+package a
+
+import "fmt"
+
+// PathError is a typed error; returning it directly is the other blessed
+// propagation shape.
+type PathError struct{ Path string }
+
+// Error implements error.
+func (e *PathError) Error() string { return "path " + e.Path }
+
+// Wrap preserves the cause: clean.
+func Wrap(err error) error {
+	return fmt.Errorf("loading: %w", err)
+}
+
+// Flatten discards the cause's type with %v.
+func Flatten(err error) error {
+	return fmt.Errorf("loading: %v", err) // want `discarding its type`
+}
+
+// FlattenS discards the cause's type with %s.
+func FlattenS(err error) error {
+	return fmt.Errorf("loading: %s", err) // want `discarding its type`
+}
+
+// Launder flattens through err.Error().
+func Launder(err error) error {
+	return fmt.Errorf("loading: %s", err.Error()) // want `flattens the cause`
+}
+
+// Mixed flags the error operand even among clean ones.
+func Mixed(path string, err error) error {
+	return fmt.Errorf("reading %s: %v", path, err) // want `discarding its type`
+}
+
+// New carries no cause: clean.
+func New(name string) error {
+	return fmt.Errorf("unknown workload %q", name)
+}
+
+// Typed returns a typed error: clean.
+func Typed(p string) error {
+	return &PathError{Path: p}
+}
+
+// WrappedAmongMany is clean: one %w preserves the chain.
+func WrappedAmongMany(path string, err error) error {
+	return fmt.Errorf("reading %s: %w", path, err)
+}

@@ -1,0 +1,106 @@
+// Package a is the mapiterorder fixture: order-sensitive map loops that
+// must be flagged, and the order-safe shapes that must not be.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SumFloats is the PR-1 bug class: float accumulation in map order.
+func SumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `accumulates floating-point values`
+		total += v
+	}
+	return total
+}
+
+// SumFloatsAssign accumulates through plain assignment.
+func SumFloatsAssign(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `accumulates floating-point values`
+		total = total + v
+	}
+	return total
+}
+
+// SumInts is order-safe: integer addition is associative.
+func SumInts(m map[string]int) int {
+	var n int
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// CollectAndSort is the canonical fix and must stay clean: collect keys,
+// sort, then index.
+func CollectAndSort(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// PrintValues writes output in map order.
+func PrintValues(m map[string]int) {
+	for k, v := range m { // want `writes output`
+		fmt.Println(k, v)
+	}
+}
+
+// BuildRows appends loop-dependent values.
+func BuildRows(m map[string]int) [][]string {
+	var rows [][]string
+	for k, v := range m { // want `appends loop-dependent values`
+		rows = append(rows, []string{k, fmt.Sprint(v)})
+	}
+	return rows
+}
+
+// BuilderWrite streams into an escaping strings.Builder.
+func BuilderWrite(m map[string]string) string {
+	var b strings.Builder
+	for _, v := range m { // want `writes to WriteString`
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
+// PerIterationLocal appends only to a loop-local slice: order-safe.
+func PerIterationLocal(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		row := make([]int, 0, 2)
+		row = append(row, v, v)
+		n += len(row)
+	}
+	return n
+}
+
+// KeyedWrites builds another map: keyed stores are order-insensitive.
+func KeyedWrites(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// Suppressed shows the escape hatch for a reviewed exception.
+func Suppressed(m map[string]float64) float64 {
+	var total float64
+	//mblint:ignore mapiterorder fixture demonstrating reviewed suppression
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

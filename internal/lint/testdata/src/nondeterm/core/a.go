@@ -1,0 +1,46 @@
+// Package core is the nondeterm fixture; its import path carries the
+// "core" segment, so the deterministic-package policy applies.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mobilebench/internal/xrand"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().Unix() // want `time.Now reads the wall clock`
+}
+
+// Elapsed embeds a wall-clock read via time.Since.
+func Elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `time.Since reads the wall clock`
+}
+
+// Draw uses the process-seeded global generator.
+func Draw() float64 {
+	return rand.Float64() // want `global math/rand`
+}
+
+// Label formats a map.
+func Label(m map[string]int) string {
+	return fmt.Sprint(m) // want `formats a map`
+}
+
+// DrawOK uses the injected, splittable generator: clean.
+func DrawOK(seed uint64) float64 {
+	return xrand.New(seed).Float64()
+}
+
+// DurationOK handles time values without reading a clock: clean.
+func DurationOK(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// LabelOK formats scalars: clean.
+func LabelOK(n int) string {
+	return fmt.Sprintf("n=%d", n)
+}

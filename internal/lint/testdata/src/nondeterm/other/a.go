@@ -1,0 +1,18 @@
+// Package other is outside the deterministic set (no policy segment in
+// its path), so wall clocks and global randomness are allowed here.
+package other
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp may read the wall clock outside the deterministic pipeline.
+func Stamp() int64 {
+	return time.Now().Unix()
+}
+
+// Draw may use the global generator outside the deterministic pipeline.
+func Draw() float64 {
+	return rand.Float64()
+}

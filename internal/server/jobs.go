@@ -95,6 +95,9 @@ func (s *Server) execute(ctx context.Context, job *Job) (json.RawMessage, error)
 	sp := job.Spec
 	var units []workload.Workload
 	for _, name := range sp.Units {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		w, err := workload.ByName(name)
 		if err != nil {
 			return nil, err

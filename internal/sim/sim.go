@@ -249,6 +249,7 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 	// Jitter phase durations for this run.
 	phases := make([]workload.Phase, len(w.Phases))
 	copy(phases, w.Phases)
+	//mblint:ignore ctxloop bounded per-run setup over a handful of phases; the tick loop below is the cancellation point
 	for i := range phases {
 		phases[i].Duration = rng.Jitter(phases[i].Duration, cfg.RuntimeJitterRel)
 	}
@@ -259,6 +260,7 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 	slc := cache.MustNew(e.plat.SLC)
 
 	clusters := make([]*clusterState, 0, int(soc.NumClusters))
+	//mblint:ignore ctxloop bounded setup over at most NumClusters CPU clusters; the tick loop below is the cancellation point
 	for _, k := range soc.Clusters() {
 		cl := e.plat.Clusters[k]
 		if cl.NumCores == 0 {

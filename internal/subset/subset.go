@@ -180,6 +180,7 @@ func GrowthCurve(bs []Benchmark, s Set) ([]CurvePoint, error) {
 // all CPUs.
 func GrowthCurveContext(ctx context.Context, bs []Benchmark, s Set, workers int) ([]CurvePoint, error) {
 	order := append([]string(nil), s.Members...)
+	//mblint:ignore ctxloop in-memory order construction; the par.ForEach fan-out below is the cancellation point
 	for _, b := range bs {
 		if s.Contains(b.Name) {
 			continue
