@@ -7,6 +7,7 @@
 //	mbchar [-runs N] [-workers N] [-csv] [-correlation] [-observations]
 //	       [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
 //	       [-inject SPEC] [-checkpoint FILE] [-resume]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 	observations := flag.Bool("observations", false, "print only the observation checks")
 	rf := cliflag.RegisterResilience()
 	cf := cliflag.RegisterCheckpoint()
+	pf := cliflag.RegisterProfile()
 	flag.Parse()
 
 	if err := cf.Validate(); err != nil {
@@ -40,6 +42,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := pf.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := pf.Stop(); err != nil {
+			fatal(err)
+		}
+	}()
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "mbchar: characterizing with %d workers\n", par.Workers(*workers))
 	}

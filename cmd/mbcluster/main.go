@@ -7,6 +7,7 @@
 //	mbcluster [-runs N] [-workers N] [-k K] [-validate] [-kmeans|-pam]
 //	          [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
 //	          [-inject SPEC] [-checkpoint FILE] [-resume]
+//	          [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	pam := flag.Bool("pam", false, "print only the PAM clustering")
 	rf := cliflag.RegisterResilience()
 	cf := cliflag.RegisterCheckpoint()
+	pf := cliflag.RegisterProfile()
 	flag.Parse()
 
 	if err := cf.Validate(); err != nil {
@@ -41,6 +43,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if err := pf.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := pf.Stop(); err != nil {
+			fatal(err)
+		}
+	}()
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "mbcluster: characterizing with %d workers\n", par.Workers(*workers))
 	}

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	mbserved -state DIR [-addr :8089] [-queue N] [-concurrent N]
-//	         [-job-timeout D] [-drain-grace D]
+//	         [-job-timeout D] [-drain-grace D] [-pprof ADDR]
 //
 // Submit and inspect jobs:
 //
@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,7 +42,19 @@ func main() {
 	concurrent := flag.Int("concurrent", 1, "jobs running at once")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline unless the job sets its own (0 = none)")
 	drainGrace := flag.Duration("drain-grace", 2*time.Second, "how long a drain lets in-flight jobs finish before interrupting them")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (off when empty)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// A separate listener keeps the debug surface off the job API's
+		// address; DefaultServeMux carries the net/http/pprof handlers.
+		go func() {
+			fmt.Fprintf(os.Stderr, "mbserved: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "mbserved: pprof listener:", err)
+			}
+		}()
+	}
 
 	srv, err := server.New(server.Config{
 		StateDir:      *state,

@@ -17,9 +17,9 @@ func FuzzResilienceFlags(f *testing.F) {
 	f.Add("-max-retries 3 -inject crash=0.2,seed=7")
 	f.Add("-checkpoint snap.mbcp -resume")
 	f.Add("-run-timeout 30s -min-runs 2 -fail-fast")
-	f.Add("-resume")                  // invalid: -resume without -checkpoint
-	f.Add("-inject bogus=1")          // invalid spec, caught by Injector()
-	f.Add("-max-retries= -min-runs")  // malformed values
+	f.Add("-resume")                 // invalid: -resume without -checkpoint
+	f.Add("-inject bogus=1")         // invalid spec, caught by Injector()
+	f.Add("-max-retries= -min-runs") // malformed values
 	f.Add("-run-timeout 1h30m -inject crash=0.1,nan=0.1")
 	f.Fuzz(func(t *testing.T, argv string) {
 		fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"mobilebench/internal/stats"
+)
+
+func TestDistMatrixAgreesWithEuclidean(t *testing.T) {
+	rows := blobs()
+	m := NewDistMatrix(rows)
+	if m.N() != len(rows) {
+		t.Fatalf("N() = %d, want %d", m.N(), len(rows))
+	}
+	for i := range rows {
+		for j := range rows {
+			want := stats.Euclidean(rows[i], rows[j])
+			if got := m.At(i, j); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("At(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDistMatrixSymmetryAndDiagonal(t *testing.T) {
+	m := NewDistMatrix(blobs())
+	for i := 0; i < m.N(); i++ {
+		if m.At(i, i) != 0 {
+			t.Fatalf("diagonal At(%d,%d) = %g, want 0", i, i, m.At(i, i))
+		}
+		for j := 0; j < i; j++ {
+			if m.At(i, j) != m.At(j, i) {
+				t.Fatalf("asymmetric: At(%d,%d)=%g, At(%d,%d)=%g",
+					i, j, m.At(i, j), j, i, m.At(j, i))
+			}
+		}
+	}
+}
+
+// TestDistMatrixDropMatchesReducedRows pins the bit-identity NewMatrices
+// relies on: the drop-column matrix must equal NewDistMatrix over rows with
+// that column removed, exactly — both sum squared deltas in ascending
+// column order, so the float accumulation order is the same.
+func TestDistMatrixDropMatchesReducedRows(t *testing.T) {
+	rows := blobs()
+	for drop := range rows[0] {
+		fast := NewDistMatrixDrop(rows, drop)
+		reduced := make([][]float64, len(rows))
+		for i, r := range rows {
+			row := make([]float64, 0, len(r)-1)
+			row = append(row, r[:drop]...)
+			row = append(row, r[drop+1:]...)
+			reduced[i] = row
+		}
+		ref := NewDistMatrix(reduced)
+		for i := range rows {
+			for j := range rows {
+				if fast.At(i, j) != ref.At(i, j) {
+					t.Fatalf("drop %d: At(%d,%d) = %g, want %g (not bit-identical)",
+						drop, i, j, fast.At(i, j), ref.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestSharedMatricesConcurrent exercises the PR's concurrency contract: one
+// Matrices set is read by APNDist and ADDist from many goroutines at once
+// (as SweepContext does). Run with -race to catch any mutation of the
+// shared matrices.
+func TestSharedMatricesConcurrent(t *testing.T) {
+	rows := blobs()
+	mats := NewMatrices(rows)
+	alg := NewKMeans()
+	full, err := clusterDist(alg, rows, mats.Full, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	apn := make([]float64, 8)
+	ad := make([]float64, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var err error
+			if g%2 == 0 {
+				apn[g], err = APNDist(context.Background(), alg, mats, 3, full)
+			} else {
+				ad[g], err = ADDist(context.Background(), alg, mats, 3, full)
+			}
+			if err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 2; g < 8; g += 2 {
+		if apn[g] != apn[0] {
+			t.Fatalf("concurrent APN disagrees: %g vs %g", apn[g], apn[0])
+		}
+	}
+	for g := 3; g < 8; g += 2 {
+		if ad[g] != ad[1] {
+			t.Fatalf("concurrent AD disagrees: %g vs %g", ad[g], ad[1])
+		}
+	}
+}
+
+// TestDistWrappersMatchPlainAPI confirms the matrix-threaded paths return
+// exactly what the original row-based API returns.
+func TestDistWrappersMatchPlainAPI(t *testing.T) {
+	rows := blobs()
+	mats := NewMatrices(rows)
+	alg := NewKMeans()
+	full, err := alg.Cluster(rows, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DunnDist(mats.Full, full); got != Dunn(rows, full) {
+		t.Fatalf("DunnDist = %g, Dunn = %g", got, Dunn(rows, full))
+	}
+	if got := SilhouetteDist(mats.Full, full); got != Silhouette(rows, full) {
+		t.Fatalf("SilhouetteDist = %g, Silhouette = %g", got, Silhouette(rows, full))
+	}
+	apnDist, err := APNDist(context.Background(), alg, mats, 3, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apnPlain, err := APN(alg, rows, 3, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apnDist != apnPlain {
+		t.Fatalf("APNDist = %g, APN = %g", apnDist, apnPlain)
+	}
+	adDist, err := ADDist(context.Background(), alg, mats, 3, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adPlain, err := AD(alg, rows, 3, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adDist != adPlain {
+		t.Fatalf("ADDist = %g, AD = %g", adDist, adPlain)
+	}
+}

@@ -118,8 +118,25 @@ func (h *Hierarchical) Cluster(rows [][]float64, k int) (Assignment, error) {
 	return den.Cut(k)
 }
 
+// ClusterDist implements DistAlgorithm.
+func (h *Hierarchical) ClusterDist(rows [][]float64, dm *DistMatrix, k int) (Assignment, error) {
+	den, err := h.DendrogramDist(rows, dm)
+	if err != nil {
+		return nil, err
+	}
+	return den.Cut(k)
+}
+
 // Dendrogram runs the full agglomeration and returns the merge tree.
 func (h *Hierarchical) Dendrogram(rows [][]float64) (*Dendrogram, error) {
+	return h.DendrogramDist(rows, nil)
+}
+
+// DendrogramDist is Dendrogram reusing a precomputed distance matrix. The
+// matrix backs the single/complete/average linkages; Ward works on centroids
+// and ignores it, so a nil dm only triggers the O(n²·d) matrix computation
+// for the linkages that read it.
+func (h *Hierarchical) DendrogramDist(rows [][]float64, dm *DistMatrix) (*Dendrogram, error) {
 	if err := validate(rows, 1); err != nil {
 		return nil, err
 	}
@@ -133,7 +150,10 @@ func (h *Hierarchical) Dendrogram(rows [][]float64) (*Dendrogram, error) {
 	for i := 0; i < n; i++ {
 		nodes = append(nodes, node{id: i, members: []int{i}, active: true})
 	}
-	base := DistanceMatrix(rows)
+	base := dm
+	if base == nil && h.Linkage != WardLinkage {
+		base = NewDistMatrix(rows)
+	}
 
 	linkDist := func(a, b []int) float64 {
 		switch h.Linkage {
@@ -141,8 +161,8 @@ func (h *Hierarchical) Dendrogram(rows [][]float64) (*Dendrogram, error) {
 			min := math.Inf(1)
 			for _, i := range a {
 				for _, j := range b {
-					if base[i][j] < min {
-						min = base[i][j]
+					if base.At(i, j) < min {
+						min = base.At(i, j)
 					}
 				}
 			}
@@ -151,8 +171,8 @@ func (h *Hierarchical) Dendrogram(rows [][]float64) (*Dendrogram, error) {
 			max := 0.0
 			for _, i := range a {
 				for _, j := range b {
-					if base[i][j] > max {
-						max = base[i][j]
+					if base.At(i, j) > max {
+						max = base.At(i, j)
 					}
 				}
 			}
@@ -172,7 +192,7 @@ func (h *Hierarchical) Dendrogram(rows [][]float64) (*Dendrogram, error) {
 			sum := 0.0
 			for _, i := range a {
 				for _, j := range b {
-					sum += base[i][j]
+					sum += base.At(i, j)
 				}
 			}
 			return sum / float64(len(a)*len(b))

@@ -30,6 +30,21 @@ func (k *KMeans) Cluster(rows [][]float64, kk int) (Assignment, error) {
 	if err := validate(rows, kk); err != nil {
 		return nil, err
 	}
+	return k.cluster(rows, nil, kk)
+}
+
+// ClusterDist implements DistAlgorithm. K-means++ seeding only measures
+// distances between actual observations (candidate centers are row copies),
+// so the precomputed matrix serves the entire seeding pass of every restart;
+// Lloyd iterations measure against moving centroids and still use the rows.
+func (k *KMeans) ClusterDist(rows [][]float64, dm *DistMatrix, kk int) (Assignment, error) {
+	if err := validate(rows, kk); err != nil {
+		return nil, err
+	}
+	return k.cluster(rows, dm, kk)
+}
+
+func (k *KMeans) cluster(rows [][]float64, dm *DistMatrix, kk int) (Assignment, error) {
 	maxIter := k.MaxIter
 	if maxIter <= 0 {
 		maxIter = 100
@@ -47,7 +62,7 @@ func (k *KMeans) Cluster(rows [][]float64, kk int) (Assignment, error) {
 	bestSS := math.Inf(1)
 	for r := 0; r < restarts; r++ {
 		rng := xrand.New(seed).Split(uint64(r) + 1)
-		a := k.once(rows, kk, maxIter, rng)
+		a := k.once(rows, dm, kk, maxIter, rng)
 		if ss := withinClusterSS(rows, a); ss < bestSS {
 			bestSS = ss
 			best = a
@@ -57,8 +72,8 @@ func (k *KMeans) Cluster(rows [][]float64, kk int) (Assignment, error) {
 }
 
 // once runs one seeded Lloyd pass.
-func (k *KMeans) once(rows [][]float64, kk, maxIter int, rng *xrand.Rand) Assignment {
-	centers := plusPlusSeed(rows, kk, rng)
+func (k *KMeans) once(rows [][]float64, dm *DistMatrix, kk, maxIter int, rng *xrand.Rand) Assignment {
+	centers := plusPlusSeed(rows, dm, kk, rng)
 	assign := make(Assignment, len(rows))
 	for iter := 0; iter < maxIter; iter++ {
 		changed := false
@@ -100,17 +115,23 @@ func (k *KMeans) once(rows [][]float64, kk, maxIter int, rng *xrand.Rand) Assign
 }
 
 // plusPlusSeed picks kk initial centers with the k-means++ D^2 weighting.
-func plusPlusSeed(rows [][]float64, kk int, rng *xrand.Rand) [][]float64 {
-	centers := make([][]float64, 0, kk)
-	first := rng.Intn(len(rows))
-	centers = append(centers, append([]float64(nil), rows[first]...))
+// Until Lloyd moves them, centers are exact row copies, so when dm is
+// non-nil every seeding distance is a matrix lookup — bit-identical to the
+// stats.Euclidean call it replaces.
+func plusPlusSeed(rows [][]float64, dm *DistMatrix, kk int, rng *xrand.Rand) [][]float64 {
+	dist := func(i, c int) float64 { return stats.Euclidean(rows[i], rows[c]) }
+	if dm != nil {
+		dist = dm.At
+	}
+	idx := make([]int, 0, kk)
+	idx = append(idx, rng.Intn(len(rows)))
 	d2 := make([]float64, len(rows))
-	for len(centers) < kk {
+	for len(idx) < kk {
 		total := 0.0
-		for i, row := range rows {
+		for i := range rows {
 			min := math.Inf(1)
-			for _, cen := range centers {
-				if d := stats.Euclidean(row, cen); d < min {
+			for _, c := range idx {
+				if d := dist(i, c); d < min {
 					min = d
 				}
 			}
@@ -132,7 +153,11 @@ func plusPlusSeed(rows [][]float64, kk int, rng *xrand.Rand) [][]float64 {
 				}
 			}
 		}
-		centers = append(centers, append([]float64(nil), rows[next]...))
+		idx = append(idx, next)
+	}
+	centers := make([][]float64, len(idx))
+	for i, c := range idx {
+		centers[i] = append([]float64(nil), rows[c]...)
 	}
 	return centers
 }

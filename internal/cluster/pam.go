@@ -33,6 +33,20 @@ func (p *PAM) Cluster(rows [][]float64, k int) (Assignment, error) {
 	if err := validate(rows, k); err != nil {
 		return nil, err
 	}
+	return p.cluster(NewDistMatrix(rows), k)
+}
+
+// ClusterDist implements DistAlgorithm: PAM works entirely on pairwise
+// distances, so a precomputed matrix removes the whole O(n²·d) setup cost
+// of each of the sweep's re-clusterings.
+func (p *PAM) ClusterDist(rows [][]float64, dm *DistMatrix, k int) (Assignment, error) {
+	if err := validate(rows, k); err != nil {
+		return nil, err
+	}
+	return p.cluster(dm, k)
+}
+
+func (p *PAM) cluster(d *DistMatrix, k int) (Assignment, error) {
 	maxSwaps := p.MaxSwaps
 	if maxSwaps <= 0 {
 		maxSwaps = 200
@@ -45,8 +59,7 @@ func (p *PAM) Cluster(rows [][]float64, k int) (Assignment, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	d := DistanceMatrix(rows)
-	n := len(rows)
+	n := d.N()
 
 	best := p.swapFrom(d, pamBuild(d, k), maxSwaps)
 	bestCost := pamCost(d, best)
@@ -63,8 +76,8 @@ func (p *PAM) Cluster(rows [][]float64, k int) (Assignment, error) {
 	for i := 0; i < n; i++ {
 		bc, bd := 0, math.Inf(1)
 		for c, m := range best {
-			if d[i][m] < bd {
-				bc, bd = c, d[i][m]
+			if d.At(i, m) < bd {
+				bc, bd = c, d.At(i, m)
 			}
 		}
 		assign[i] = bc
@@ -72,10 +85,14 @@ func (p *PAM) Cluster(rows [][]float64, k int) (Assignment, error) {
 	return assign.Canonical(), nil
 }
 
-// swapFrom runs the SWAP phase to convergence from the given medoids.
-func (p *PAM) swapFrom(d [][]float64, medoids []int, maxSwaps int) []int {
+// swapFrom runs the SWAP phase to convergence from the given medoids. The
+// candidate medoid set is built in a single reused buffer: the sweep calls
+// this O(k·n) times per swap round, and a fresh slice per candidate was
+// measurable allocation churn.
+func (p *PAM) swapFrom(d *DistMatrix, medoids []int, maxSwaps int) []int {
 	medoids = append([]int(nil), medoids...)
-	n := len(d)
+	n := d.N()
+	trial := make([]int, len(medoids))
 	cost := pamCost(d, medoids)
 	for swap := 0; swap < maxSwaps; swap++ {
 		bestDelta := 0.0
@@ -85,7 +102,7 @@ func (p *PAM) swapFrom(d [][]float64, medoids []int, maxSwaps int) []int {
 				if isMedoid(medoids, o) {
 					continue
 				}
-				trial := append([]int(nil), medoids...)
+				copy(trial, medoids)
 				trial[mi] = o
 				if c := pamCost(d, trial); c-cost < bestDelta-1e-12 {
 					bestDelta = c - cost
@@ -117,27 +134,29 @@ func randomMedoids(n, k int, rng *xrand.Rand) []int {
 
 // pamBuild greedily selects k initial medoids: the most central point
 // first, then the point that most reduces total cost at each step.
-func pamBuild(d [][]float64, k int) []int {
-	n := len(d)
+func pamBuild(d *DistMatrix, k int) []int {
+	n := d.N()
 	// First medoid: minimal total distance to everything.
 	best, bestSum := 0, math.Inf(1)
 	for i := 0; i < n; i++ {
 		sum := 0.0
 		for j := 0; j < n; j++ {
-			sum += d[i][j]
+			sum += d.At(i, j)
 		}
 		if sum < bestSum {
 			best, bestSum = i, sum
 		}
 	}
 	medoids := []int{best}
+	trial := make([]int, 0, k)
 	for len(medoids) < k {
 		bestCand, bestCost := -1, math.Inf(1)
 		for c := 0; c < n; c++ {
 			if isMedoid(medoids, c) {
 				continue
 			}
-			trial := append(append([]int(nil), medoids...), c)
+			trial = append(trial[:0], medoids...)
+			trial = append(trial, c)
 			if cost := pamCost(d, trial); cost < bestCost {
 				bestCand, bestCost = c, cost
 			}
@@ -149,13 +168,14 @@ func pamBuild(d [][]float64, k int) []int {
 
 // pamCost is the sum over observations of the distance to the nearest
 // medoid.
-func pamCost(d [][]float64, medoids []int) float64 {
+func pamCost(d *DistMatrix, medoids []int) float64 {
+	n := d.N()
 	total := 0.0
-	for i := range d {
+	for i := 0; i < n; i++ {
 		min := math.Inf(1)
 		for _, m := range medoids {
-			if d[i][m] < min {
-				min = d[i][m]
+			if d.At(i, m) < min {
+				min = d.At(i, m)
 			}
 		}
 		total += min

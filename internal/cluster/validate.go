@@ -13,24 +13,29 @@ import (
 // Dunn returns the Dunn index of the assignment: the minimum inter-cluster
 // distance divided by the maximum intra-cluster diameter. Higher is better.
 func Dunn(rows [][]float64, a Assignment) float64 {
-	d := DistanceMatrix(rows)
+	return DunnDist(NewDistMatrix(rows), a)
+}
+
+// DunnDist is Dunn over a precomputed distance matrix.
+func DunnDist(d *DistMatrix, a Assignment) float64 {
 	k := a.K()
+	members := clusterMembers(a)
 	minInter := math.Inf(1)
 	maxDiam := 0.0
 	for c1 := 0; c1 < k; c1++ {
-		m1 := a.Members(c1)
+		m1 := members[c1]
 		for _, i := range m1 {
 			for _, j := range m1 {
-				if d[i][j] > maxDiam {
-					maxDiam = d[i][j]
+				if d.At(i, j) > maxDiam {
+					maxDiam = d.At(i, j)
 				}
 			}
 		}
 		for c2 := c1 + 1; c2 < k; c2++ {
 			for _, i := range m1 {
-				for _, j := range a.Members(c2) {
-					if d[i][j] < minInter {
-						minInter = d[i][j]
+				for _, j := range members[c2] {
+					if d.At(i, j) < minInter {
+						minInter = d.At(i, j)
 					}
 				}
 			}
@@ -42,27 +47,44 @@ func Dunn(rows [][]float64, a Assignment) float64 {
 	return minInter / maxDiam
 }
 
+// clusterMembers returns each cluster's member indices, index-ordered —
+// exactly what a.Members reports per cluster, materialized once instead of
+// per lookup inside the validation loops.
+func clusterMembers(a Assignment) [][]int {
+	out := make([][]int, a.K())
+	for i, c := range a {
+		out[c] = append(out[c], i)
+	}
+	return out
+}
+
 // Silhouette returns the mean silhouette width of the assignment. For each
 // observation, s = (b - a) / max(a, b) where a is the mean distance to its
 // own cluster and b the smallest mean distance to another cluster.
 // Singleton clusters contribute 0, following Kaufman & Rousseeuw. Higher is
 // better; the range is [-1, 1].
 func Silhouette(rows [][]float64, a Assignment) float64 {
-	d := DistanceMatrix(rows)
+	return SilhouetteDist(NewDistMatrix(rows), a)
+}
+
+// SilhouetteDist is Silhouette over a precomputed distance matrix.
+func SilhouetteDist(d *DistMatrix, a Assignment) float64 {
 	k := a.K()
 	if k < 2 {
 		return 0
 	}
+	n := d.N()
+	members := clusterMembers(a)
 	total := 0.0
-	for i := range rows {
-		own := a.Members(a[i])
+	for i := 0; i < n; i++ {
+		own := members[a[i]]
 		if len(own) <= 1 {
 			continue // silhouette of a singleton is defined as 0
 		}
 		ai := 0.0
 		for _, j := range own {
 			if j != i {
-				ai += d[i][j]
+				ai += d.At(i, j)
 			}
 		}
 		ai /= float64(len(own) - 1)
@@ -72,15 +94,14 @@ func Silhouette(rows [][]float64, a Assignment) float64 {
 			if c == a[i] {
 				continue
 			}
-			members := a.Members(c)
-			if len(members) == 0 {
+			if len(members[c]) == 0 {
 				continue
 			}
 			sum := 0.0
-			for _, j := range members {
-				sum += d[i][j]
+			for _, j := range members[c] {
+				sum += d.At(i, j)
 			}
-			if v := sum / float64(len(members)); v < bi {
+			if v := sum / float64(len(members[c])); v < bi {
 				bi = v
 			}
 		}
@@ -88,7 +109,7 @@ func Silhouette(rows [][]float64, a Assignment) float64 {
 			total += (bi - ai) / m
 		}
 	}
-	return total / float64(len(rows))
+	return total / float64(n)
 }
 
 // Stability validation ----------------------------------------------------
@@ -105,13 +126,21 @@ func APN(alg Algorithm, rows [][]float64, k int, full Assignment) (float64, erro
 // re-clustering checks the context first, so a cancelled job stops between
 // columns instead of finishing the whole stability pass.
 func APNContext(ctx context.Context, alg Algorithm, rows [][]float64, k int, full Assignment) (float64, error) {
-	nc := len(rows[0])
+	return APNDist(ctx, alg, NewMatrices(rows), k, full)
+}
+
+// APNDist is APNContext over precomputed distance matrices: the sweep builds
+// one read-only Matrices and shares it across all of its concurrent
+// (algorithm, k) jobs instead of recomputing the per-column reduced rows and
+// distances for every job.
+func APNDist(ctx context.Context, alg Algorithm, m *Matrices, k int, full Assignment) (float64, error) {
+	nc := len(m.Rows[0])
 	total := 0.0
 	for j := 0; j < nc; j++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		reduced, err := alg.Cluster(dropColumn(rows, j), k)
+		reduced, err := clusterDist(alg, m.DroppedRows[j], m.Dropped[j], k)
 		if err != nil {
 			return 0, fmt.Errorf("cluster: APN with column %d removed: %w", j, err)
 		}
@@ -124,10 +153,12 @@ func APNContext(ctx context.Context, alg Algorithm, rows [][]float64, k int, ful
 // of its full-data cluster and its reduced-data cluster, averaged.
 func proportionNonOverlap(full, reduced Assignment) float64 {
 	n := len(full)
+	fullMasks := clusterMasks(full)
+	reducedMasks := clusterMasks(reduced)
 	total := 0.0
 	for i := 0; i < n; i++ {
-		cf := memberMask(full, full[i])
-		cr := memberMask(reduced, reduced[i])
+		cf := fullMasks[full[i]]
+		cr := reducedMasks[reduced[i]]
 		inter, size := 0, 0
 		for m := 0; m < n; m++ {
 			if cf[m] {
@@ -144,16 +175,18 @@ func proportionNonOverlap(full, reduced Assignment) float64 {
 	return total / float64(n)
 }
 
-// memberMask returns cluster c's membership as an index-ordered mask.
-// Ordered iteration matters: accumulating distances in Go's randomized map
-// order perturbs the sums by ULPs from run to run, which breaks the
-// pipeline's bit-for-bit determinism guarantee.
-func memberMask(a Assignment, c int) []bool {
-	out := make([]bool, len(a))
+// clusterMasks returns every cluster's membership as index-ordered masks,
+// built in one pass instead of one O(n) scan per observation. Ordered
+// iteration matters: accumulating distances in Go's randomized map order
+// perturbs the sums by ULPs from run to run, which breaks the pipeline's
+// bit-for-bit determinism guarantee.
+func clusterMasks(a Assignment) [][]bool {
+	out := make([][]bool, a.K())
+	for c := range out {
+		out[c] = make([]bool, len(a))
+	}
 	for i, ci := range a {
-		if ci == c {
-			out[i] = true
-		}
+		out[ci][i] = true
 	}
 	return out
 }
@@ -169,26 +202,34 @@ func AD(alg Algorithm, rows [][]float64, k int, full Assignment) (float64, error
 // ADContext is AD with cancellation, checked before every
 // leave-one-column-out re-clustering (the expensive step of the measure).
 func ADContext(ctx context.Context, alg Algorithm, rows [][]float64, k int, full Assignment) (float64, error) {
-	nc := len(rows[0])
-	d := DistanceMatrix(rows)
-	n := len(rows)
+	return ADDist(ctx, alg, NewMatrices(rows), k, full)
+}
+
+// ADDist is ADContext over precomputed distance matrices, shareable across
+// concurrent sweep jobs the same way as APNDist.
+func ADDist(ctx context.Context, alg Algorithm, m *Matrices, k int, full Assignment) (float64, error) {
+	nc := len(m.Rows[0])
+	d := m.Full
+	n := len(m.Rows)
+	fullMasks := clusterMasks(full)
 	total := 0.0
 	for j := 0; j < nc; j++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		reduced, err := alg.Cluster(dropColumn(rows, j), k)
+		reduced, err := clusterDist(alg, m.DroppedRows[j], m.Dropped[j], k)
 		if err != nil {
 			return 0, fmt.Errorf("cluster: AD with column %d removed: %w", j, err)
 		}
+		reducedMasks := clusterMasks(reduced)
 		sum := 0.0
 		for i := 0; i < n; i++ {
-			cf := memberMask(full, full[i])
-			cr := memberMask(reduced, reduced[i])
+			cf := fullMasks[full[i]]
+			cr := reducedMasks[reduced[i]]
 			cnt, acc := 0, 0.0
 			for m := 0; m < n; m++ {
 				if cf[m] && cr[m] {
-					acc += d[i][m]
+					acc += d.At(i, m)
 					cnt++
 				}
 			}
@@ -237,6 +278,11 @@ func SweepContext(ctx context.Context, algs []Algorithm, rows [][]float64, kMin,
 	if nk <= 0 || len(algs) == 0 {
 		return nil, ctx.Err()
 	}
+	// One set of distance matrices (full + per-column reduced) backs every
+	// (algorithm, k) job: the matrices are immutable, so sharing them across
+	// the worker pool is race-free and saves each job its own O(n²·d)
+	// recomputation per clustering and per stability column.
+	mats := NewMatrices(rows)
 	out := make([]Scores, len(algs)*nk)
 	err := par.ForEach(ctx, workers, len(out), func(ctx context.Context, j int) error {
 		// Each sweep point is a full clustering plus 2 x columns stability
@@ -247,23 +293,23 @@ func SweepContext(ctx context.Context, algs []Algorithm, rows [][]float64, kMin,
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		a, err := alg.Cluster(rows, k)
+		a, err := clusterDist(alg, rows, mats.Full, k)
 		if err != nil {
 			return err
 		}
-		apn, err := APNContext(ctx, alg, rows, k, a)
+		apn, err := APNDist(ctx, alg, mats, k, a)
 		if err != nil {
 			return err
 		}
-		ad, err := ADContext(ctx, alg, rows, k, a)
+		ad, err := ADDist(ctx, alg, mats, k, a)
 		if err != nil {
 			return err
 		}
 		out[j] = Scores{
 			Algorithm:  alg.Name(),
 			K:          k,
-			Dunn:       Dunn(rows, a),
-			Silhouette: Silhouette(rows, a),
+			Dunn:       DunnDist(mats.Full, a),
+			Silhouette: SilhouetteDist(mats.Full, a),
 			APN:        apn,
 			AD:         ad,
 		}

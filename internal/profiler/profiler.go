@@ -39,14 +39,24 @@ func ClusterLoadMetric(cluster string) string {
 
 // Profiler accumulates samples during a simulation run.
 type Profiler struct {
-	dt     float64
-	series map[string]*trace.Series
-	order  []string
+	dt      float64
+	capHint int
+	series  map[string]*trace.Series
+	order   []string
 }
 
 // New creates a profiler sampling at interval dt seconds.
 func New(dt float64) *Profiler {
 	return &Profiler{dt: dt, series: make(map[string]*trace.Series)}
+}
+
+// NewCap is New with a per-series capacity hint: every series created by
+// Sample pre-sizes its backing array for capHint samples (the run's tick
+// count), so the ~190 engine counters never regrow mid-run.
+func NewCap(dt float64, capHint int) *Profiler {
+	p := New(dt)
+	p.capHint = capHint
+	return p
 }
 
 // DT returns the sampling interval.
@@ -58,7 +68,7 @@ func (p *Profiler) DT() float64 { return p.dt }
 func (p *Profiler) Sample(metric string, v float64) {
 	s, ok := p.series[metric]
 	if !ok {
-		s = trace.NewSeries(metric, p.dt)
+		s = trace.NewSeriesCap(metric, p.dt, p.capHint)
 		p.series[metric] = s
 		p.order = append(p.order, metric)
 	}
@@ -156,8 +166,9 @@ func MeanTraces(runs []*Trace) (*Trace, error) {
 		return nil, fmt.Errorf("profiler: empty trace")
 	}
 	out := &Trace{DT: runs[0].DT, Samples: minLen, series: make(map[string]*trace.Series)}
+	rs := make([]*trace.Series, 0, len(runs))
 	for _, name := range runs[0].order {
-		var rs []*trace.Series
+		rs = rs[:0]
 		for _, r := range runs {
 			s := r.Series(name)
 			if s == nil {
@@ -177,6 +188,12 @@ func MeanTraces(runs []*Trace) (*Trace, error) {
 
 func resampleToLen(s *trace.Series, n int, dt float64) *trace.Series {
 	if s.Len() == n {
+		if s.DT == dt {
+			// Already the right shape: MeanSeries only reads its inputs,
+			// so the run's own series can be used directly. Cloning here
+			// used to copy every run's full trace once per average.
+			return s
+		}
 		c := s.Clone()
 		c.DT = dt
 		return c

@@ -12,8 +12,6 @@
 package sched
 
 import (
-	"sort"
-
 	"mobilebench/internal/soc"
 )
 
@@ -62,15 +60,35 @@ func (p Placement) TotalUtil(plat *soc.Platform) float64 {
 }
 
 // EAS is an energy-aware scheduler model.
+//
+// An EAS reuses internal placement buffers across Place calls and is
+// therefore NOT safe for concurrent use; create one per goroutine (the
+// simulation engine creates one per run). Placement results do not depend
+// on the reuse: buffers are fully reset at the top of every Place call.
 type EAS struct {
 	plat *soc.Platform
 	// FitMargin is the headroom factor for "task fits on cluster"
 	// decisions; the kernel's fits_capacity() uses 1.25 (80% rule).
 	FitMargin float64
+
+	// cores is the per-call placement scratch. The core list is fixed by
+	// the platform, so it is built once and only its free/used fields are
+	// reset per call.
+	cores []core
+	// sorted is the per-call demand-ordered task scratch.
+	sorted []Task
 }
 
 // NewEAS creates a scheduler for the platform.
-func NewEAS(plat *soc.Platform) *EAS { return &EAS{plat: plat, FitMargin: 1.25} }
+func NewEAS(plat *soc.Platform) *EAS {
+	e := &EAS{plat: plat, FitMargin: 1.25}
+	for _, k := range soc.Clusters() {
+		for i := 0; i < plat.Clusters[k].NumCores; i++ {
+			e.cores = append(e.cores, core{kind: k})
+		}
+	}
+	return e
+}
 
 type core struct {
 	kind soc.ClusterKind
@@ -88,16 +106,26 @@ type core struct {
 // the core with the most free capacity anywhere; demand exceeding that
 // core's capacity is recorded as overflow.
 func (s *EAS) Place(tasks []Task) Placement {
-	var cores []core
-	for _, k := range soc.Clusters() {
-		for i := 0; i < s.plat.Clusters[k].NumCores; i++ {
-			cores = append(cores, core{kind: k, free: 1})
-		}
+	cores := s.cores
+	for i := range cores {
+		cores[i].free = 1
+		cores[i].used = 0
 	}
 
-	sorted := make([]Task, len(tasks))
-	copy(sorted, tasks)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Demand > sorted[j].Demand })
+	sorted := append(s.sorted[:0], tasks...)
+	s.sorted = sorted
+	// Stable insertion sort, descending by demand: identical ordering to a
+	// stable library sort, zero allocations, and fast for the few dozen
+	// tasks a tick produces.
+	for i := 1; i < len(sorted); i++ {
+		t := sorted[i]
+		j := i - 1
+		for j >= 0 && sorted[j].Demand < t.Demand {
+			sorted[j+1] = sorted[j]
+			j--
+		}
+		sorted[j+1] = t
+	}
 
 	var overflow [soc.NumClusters]float64
 	for _, t := range sorted {

@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"time"
 
 	"mobilebench/internal/aie"
@@ -123,15 +124,167 @@ func (c Config) normalize() Config {
 
 // Engine executes workloads.
 //
-// An Engine is safe for concurrent use: Run builds all mutable simulation
-// state (caches, predictors, scheduler, governor, power/thermal/GPU/AIE
-// models, profiler and RNG streams) afresh per invocation, and only reads
-// the immutable configuration and platform description. Each (workload,
-// run) pair derives an independent random stream from the root seed, so
-// concurrent runs produce bit-identical results to sequential ones.
+// An Engine is safe for concurrent use: every Run acquires its mutable
+// simulation state (caches, predictors, scheduler) exclusively from the
+// engine's model pool and builds the rest (governor, power/thermal/GPU/AIE
+// models, profiler and RNG streams) afresh per invocation, sharing only the
+// immutable configuration, platform description and precomputed metric name
+// tables. Each (workload, run) pair derives an independent random stream
+// from the root seed, so concurrent runs produce bit-identical results to
+// sequential ones.
 type Engine struct {
 	cfg  Config
 	plat *soc.Platform
+	// names holds every per-cluster and per-core counter name the tick
+	// loop emits, formatted once at construction. The tick loop samples
+	// ~190 metrics per tick; formatting those names per sample used to be
+	// the pipeline's single largest allocation source.
+	names [soc.NumClusters]clusterMetricNames
+
+	// free pools runModels across runs: cache tag/valid/LRU arrays and
+	// predictor tables dominate per-run allocation after the name tables,
+	// and a flushed model is behaviourally identical to a fresh one (see
+	// runModels.reset), so reuse cannot change results. The pool grows to
+	// the peak number of concurrent runs and never shrinks.
+	mu   sync.Mutex
+	free []*runModels
+}
+
+// runModels is the allocation-heavy per-run model state an Engine pools:
+// the shared L3/SLC, per-cluster cache hierarchies and branch predictors,
+// and the scheduler (whose core list and sort scratch are reusable but not
+// concurrency-safe). Exactly one Run uses a runModels at a time.
+type runModels struct {
+	l3, slc   *cache.Cache
+	clusters  []*clusterState
+	scheduler *sched.EAS
+}
+
+// newRunModels builds a fresh model set for one run.
+func (e *Engine) newRunModels() (*runModels, error) {
+	l3 := cache.MustNew(e.plat.L3)
+	slc := cache.MustNew(e.plat.SLC)
+	clusters := make([]*clusterState, 0, int(soc.NumClusters))
+	//mblint:ignore ctxloop bounded setup over at most NumClusters CPU clusters; the tick loop is the cancellation point
+	for _, k := range soc.Clusters() {
+		cl := e.plat.Clusters[k]
+		if cl.NumCores == 0 {
+			// Platforms may omit a cluster (mid-range SoCs have no prime
+			// core); absent clusters emit no counters.
+			continue
+		}
+		h, err := cache.NewHierarchy(cl, l3, slc)
+		if err != nil {
+			return nil, err
+		}
+		clusters = append(clusters, &clusterState{
+			kind: k,
+			cl:   cl,
+			pen:  cpu.DefaultPenalties(cl),
+			hier: h,
+			pred: branch.NewTournament(14, 14),
+		})
+	}
+	return &runModels{l3: l3, slc: slc, clusters: clusters, scheduler: sched.NewEAS(e.plat)}, nil
+}
+
+// reset returns a pooled model set to its initial state: caches flushed
+// (an invalid line's stale tag/LRU words are never consulted, so a flushed
+// cache is access-for-access identical to a new one), predictor tables
+// zeroed, and all per-run cluster fields restored. A reset model therefore
+// produces bit-identical runs to a freshly constructed one.
+func (m *runModels) reset(cfg Config) error {
+	m.l3.Flush()
+	m.slc.Flush()
+	for _, cs := range m.clusters {
+		gov, err := governorByName(cfg.Governor)
+		if err != nil {
+			return err
+		}
+		cs.hier.Flush()
+		cs.pred.Reset()
+		cs.freqHz = cs.cl.MinFreqHz
+		cs.gov = gov
+		cs.stream = nil
+		cs.branches = nil
+		cs.miss = cpu.MissProfile{}
+		cs.phaseIdx = -1
+	}
+	return nil
+}
+
+// acquireModels pops a pooled model set (resetting it) or builds one.
+func (e *Engine) acquireModels() (*runModels, error) {
+	e.mu.Lock()
+	if n := len(e.free); n > 0 {
+		m := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.mu.Unlock()
+		return m, m.reset(e.cfg)
+	}
+	e.mu.Unlock()
+	m, err := e.newRunModels()
+	if err != nil {
+		return nil, err
+	}
+	return m, m.reset(e.cfg)
+}
+
+func (e *Engine) releaseModels(m *runModels) {
+	e.mu.Lock()
+	e.free = append(e.free, m)
+	e.mu.Unlock()
+}
+
+// clusterMetricNames caches one cluster's counter names.
+type clusterMetricNames struct {
+	ipc, cacheMPKI, branchMPKI        string
+	util, freqMHz, load               string
+	activeCores, overflow, topOPPFrac string
+	level                             [4]string // l1d/l2/l3/slc _miss_per_instr
+	core                              []coreMetricNames
+}
+
+// coreMetricNames caches one core's counter names.
+type coreMetricNames struct {
+	load, util, freqMHz, ipc, cacheMPKI, branchMPKI string
+	level                                           [4]string
+}
+
+var cacheLevelSlugs = [4]string{"l1d", "l2", "l3", "slc"}
+
+func buildMetricNames(plat *soc.Platform) [soc.NumClusters]clusterMetricNames {
+	var names [soc.NumClusters]clusterMetricNames
+	for _, k := range soc.Clusters() {
+		n := &names[k]
+		n.ipc = clusterMetric(k, "ipc")
+		n.cacheMPKI = clusterMetric(k, "cache_mpki")
+		n.branchMPKI = clusterMetric(k, "branch_mpki")
+		n.util = clusterMetric(k, "util")
+		n.freqMHz = clusterMetric(k, "freq_mhz")
+		n.load = clusterMetric(k, "load")
+		n.activeCores = clusterMetric(k, "active_cores")
+		n.overflow = clusterMetric(k, "overflow")
+		n.topOPPFrac = clusterMetric(k, "top_opp_frac")
+		for i, lvl := range cacheLevelSlugs {
+			n.level[i] = clusterMetric(k, lvl+"_miss_per_instr")
+		}
+		n.core = make([]coreMetricNames, plat.Clusters[k].NumCores)
+		for c := range n.core {
+			cn := &n.core[c]
+			cn.load = coreMetric(k, c, "load")
+			cn.util = coreMetric(k, c, "util")
+			cn.freqMHz = coreMetric(k, c, "freq_mhz")
+			cn.ipc = coreMetric(k, c, "ipc")
+			cn.cacheMPKI = coreMetric(k, c, "cache_mpki")
+			cn.branchMPKI = coreMetric(k, c, "branch_mpki")
+			for i, lvl := range cacheLevelSlugs {
+				cn.level[i] = coreMetric(k, c, lvl+"_miss_per_instr")
+			}
+		}
+	}
+	return names
 }
 
 // New creates an engine. A zero Config selects defaults.
@@ -140,7 +293,15 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Platform.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, plat: cfg.Platform}, nil
+	e := &Engine{cfg: cfg, plat: cfg.Platform, names: buildMetricNames(cfg.Platform)}
+	// Seed the pool with one model set so a sequential caller's first Run
+	// pays no model construction either.
+	m, err := e.newRunModels()
+	if err != nil {
+		return nil, err
+	}
+	e.free = append(e.free, m)
+	return e, nil
 }
 
 // MustNew is New with a panic on error.
@@ -255,53 +416,32 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 	}
 	jw := workload.Workload{Name: w.Name, Suite: w.Suite, Target: w.Target, Phases: phases}
 
-	// Shared cache levels.
-	l3 := cache.MustNew(e.plat.L3)
-	slc := cache.MustNew(e.plat.SLC)
-
-	clusters := make([]*clusterState, 0, int(soc.NumClusters))
-	//mblint:ignore ctxloop bounded setup over at most NumClusters CPU clusters; the tick loop below is the cancellation point
-	for _, k := range soc.Clusters() {
-		cl := e.plat.Clusters[k]
-		if cl.NumCores == 0 {
-			// Platforms may omit a cluster (mid-range SoCs have no prime
-			// core); absent clusters emit no counters.
-			continue
-		}
-		h, err := cache.NewHierarchy(cl, l3, slc)
-		if err != nil {
-			return nil, err
-		}
-		gov, err := governorByName(cfg.Governor)
-		if err != nil {
-			return nil, err
-		}
-		clusters = append(clusters, &clusterState{
-			kind:     k,
-			cl:       cl,
-			freqHz:   cl.MinFreqHz,
-			gov:      gov,
-			pen:      cpu.DefaultPenalties(cl),
-			hier:     h,
-			pred:     branch.NewTournament(14, 14),
-			phaseIdx: -1,
-		})
+	// Cache hierarchies, predictors and scheduler come from the engine's
+	// model pool; this run holds them exclusively until it returns.
+	models, err := e.acquireModels()
+	if err != nil {
+		return nil, err
 	}
-
-	scheduler := sched.NewEAS(e.plat)
+	defer e.releaseModels(models)
+	l3, slc := models.l3, models.slc
+	clusters := models.clusters
+	scheduler := models.scheduler
 	powerModel := power.NewModel(power.DefaultCoefficients())
 	thermalModel := thermal.NewModel(thermal.DefaultConfig())
 	gpuModel := gpu.NewModel(e.plat.GPU, e.plat.Display, rng.Split(0x91))
 	aieModel := aie.NewModel(e.plat.AIE)
 	memModel := mem.NewModel(e.plat.Memory)
 	ioModel := mem.NewStorage(e.plat.Storage)
-	prof := profiler.New(cfg.TickSec)
 
 	duration := jw.Duration()
 	ticks := int(duration / cfg.TickSec)
 	if ticks < 1 {
 		ticks = 1
 	}
+	// Every counter appends one sample per tick; pre-sizing the series from
+	// the phase-timeline tick count makes each backing array grow exactly
+	// once instead of log(ticks) times per counter.
+	prof := profiler.NewCap(cfg.TickSec, ticks)
 
 	// Injected mid-run faults fire at deterministic tick positions.
 	abortTick, hangTick, panicTick := -1, -1, -1
@@ -324,6 +464,10 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 		agg                         Aggregates
 		slcPollute                  *cache.StreamGen
 		slcPolluteIdx               = -1
+		// tasks is this run's per-tick task scratch: truncated (never
+		// reallocated once warm) at the top of every tick. Run-local, so
+		// concurrent RunContext calls never share it.
+		tasks []sched.Task
 	)
 	agg.Name = w.Name
 
@@ -357,7 +501,7 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 
 		// Build the tick's task set: workload threads plus demand bounced
 		// back from the AIE (unsupported codecs) and the storage stack.
-		var tasks []sched.Task
+		tasks = tasks[:0]
 		for _, ts := range phase.CPU.Tasks {
 			for i := 0; i < ts.Count; i++ {
 				d := rng.Jitter(ts.Demand, cfg.NoiseRel)
@@ -365,10 +509,10 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 			}
 		}
 		if prevAIE.CPUFallbackDemand > 0 {
-			tasks = append(tasks, splitDemand(prevAIE.CPUFallbackDemand)...)
+			tasks = appendSplitDemand(tasks, prevAIE.CPUFallbackDemand)
 		}
 		if prevIO.CPUDemand > 0 {
-			tasks = append(tasks, splitDemand(prevIO.CPUDemand)...)
+			tasks = appendSplitDemand(tasks, prevIO.CPUDemand)
 		}
 		placement := scheduler.Place(tasks)
 
@@ -433,12 +577,14 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 			totBranchMiss += cs.miss.BranchMissPerInstr * ins
 			cpuDRAMBytes += cs.miss.MissesPerInstr[3] * ins * 64
 
-			prof.Sample(clusterMetric(cs.kind, "ipc"), ipc)
-			prof.Sample(clusterMetric(cs.kind, "cache_mpki"), cacheMiss*1000)
-			prof.Sample(clusterMetric(cs.kind, "branch_mpki"), cs.miss.BranchMissPerInstr*1000)
+			nm := &e.names[cs.kind]
+			prof.Sample(nm.ipc, ipc)
+			prof.Sample(nm.cacheMPKI, cacheMiss*1000)
+			prof.Sample(nm.branchMPKI, cs.miss.BranchMissPerInstr*1000)
 		}
 		// Clusters that were idle this tick still need aligned samples.
 		for _, cs := range clusters {
+			nm := &e.names[cs.kind]
 			load := placement.Clusters[cs.kind]
 			util := load.Util
 			if cs.freqHz > 0 {
@@ -448,9 +594,9 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 				util = 1
 			}
 			if util <= 1e-4 {
-				prof.Sample(clusterMetric(cs.kind, "ipc"), 0)
-				prof.Sample(clusterMetric(cs.kind, "cache_mpki"), 0)
-				prof.Sample(clusterMetric(cs.kind, "branch_mpki"), 0)
+				prof.Sample(nm.ipc, 0)
+				prof.Sample(nm.cacheMPKI, 0)
+				prof.Sample(nm.branchMPKI, 0)
 			}
 			powerIn.Clusters[cs.kind] = power.ClusterInput{
 				FreqHz:    cs.freqHz,
@@ -458,11 +604,11 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 				MaxFreqHz: cs.cl.MaxFreqHz,
 				Cores:     cs.cl.NumCores,
 			}
-			prof.Sample(clusterMetric(cs.kind, "util"), util)
-			prof.Sample(clusterMetric(cs.kind, "freq_mhz"), cs.freqHz/1e6)
-			prof.Sample(clusterMetric(cs.kind, "load"), util*cs.freqHz/cs.cl.MaxFreqHz)
-			prof.Sample(clusterMetric(cs.kind, "active_cores"), float64(load.ActiveCores))
-			prof.Sample(clusterMetric(cs.kind, "overflow"), load.Overflow)
+			prof.Sample(nm.util, util)
+			prof.Sample(nm.freqMHz, cs.freqHz/1e6)
+			prof.Sample(nm.load, util*cs.freqHz/cs.cl.MaxFreqHz)
+			prof.Sample(nm.activeCores, float64(load.ActiveCores))
+			prof.Sample(nm.overflow, load.Overflow)
 			// Per-core views: cores within a cluster behave near
 			// identically (the paper averages them for the same reason).
 			ipcNow := 0.0
@@ -474,18 +620,19 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 				ipcNow = cpu.IPC(cs.cl, phase.CPU.Mix, cs.miss, cs.pen, contention)
 			}
 			for c := 0; c < cs.cl.NumCores; c++ {
-				prof.Sample(coreMetric(cs.kind, c, "load"), util*cs.freqHz/cs.cl.MaxFreqHz)
-				prof.Sample(coreMetric(cs.kind, c, "util"), util)
-				prof.Sample(coreMetric(cs.kind, c, "freq_mhz"), cs.freqHz/1e6)
-				prof.Sample(coreMetric(cs.kind, c, "ipc"), ipcNow)
-				prof.Sample(coreMetric(cs.kind, c, "cache_mpki"), cacheSum*1000)
-				prof.Sample(coreMetric(cs.kind, c, "branch_mpki"), cs.miss.BranchMissPerInstr*1000)
-				for i, lvl := range []string{"l1d", "l2", "l3", "slc"} {
-					prof.Sample(coreMetric(cs.kind, c, lvl+"_miss_per_instr"), cs.miss.MissesPerInstr[i])
+				cn := &nm.core[c]
+				prof.Sample(cn.load, util*cs.freqHz/cs.cl.MaxFreqHz)
+				prof.Sample(cn.util, util)
+				prof.Sample(cn.freqMHz, cs.freqHz/1e6)
+				prof.Sample(cn.ipc, ipcNow)
+				prof.Sample(cn.cacheMPKI, cacheSum*1000)
+				prof.Sample(cn.branchMPKI, cs.miss.BranchMissPerInstr*1000)
+				for i := range cn.level {
+					prof.Sample(cn.level[i], cs.miss.MissesPerInstr[i])
 				}
 			}
-			for i, lvl := range []string{"l1d", "l2", "l3", "slc"} {
-				prof.Sample(clusterMetric(cs.kind, lvl+"_miss_per_instr"), cs.miss.MissesPerInstr[i])
+			for i := range nm.level {
+				prof.Sample(nm.level[i], cs.miss.MissesPerInstr[i])
 			}
 			// DVFS residency: fraction of this tick at the top operating
 			// point (1 when pinned at max frequency).
@@ -493,7 +640,7 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 			if cs.freqHz >= cs.cl.MaxFreqHz-1 {
 				top = 1
 			}
-			prof.Sample(clusterMetric(cs.kind, "top_opp_frac"), top)
+			prof.Sample(nm.topOPPFrac, top)
 		}
 
 		totInstr += tickInstr
@@ -809,19 +956,19 @@ func scaleAgg(a Aggregates, f float64) Aggregates {
 	return a
 }
 
-// splitDemand splits a capacity demand into schedulable task chunks no
-// larger than a Big core.
-func splitDemand(total float64) []sched.Task {
-	var out []sched.Task
+// appendSplitDemand appends a capacity demand to dst split into schedulable
+// task chunks no larger than a Big core. Appending into the caller's scratch
+// keeps the tick loop free of per-tick slice garbage.
+func appendSplitDemand(dst []sched.Task, total float64) []sched.Task {
 	for total > 0 {
 		d := total
 		if d > 0.9 {
 			d = 0.9
 		}
-		out = append(out, sched.Task{Demand: d})
+		dst = append(dst, sched.Task{Demand: d})
 		total -= d
 	}
-	return out
+	return dst
 }
 
 func phaseIndexAt(w workload.Workload, t float64) int {

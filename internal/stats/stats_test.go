@@ -218,3 +218,59 @@ func TestQuickNormalizeMinMaxRange(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// twoPassVariance is the reference double-pass (mean, then residuals)
+// population variance the Welford implementation replaced; the pinning test
+// below bounds how far the two may drift apart.
+func twoPassVariance(xs []float64) float64 {
+	m := Mean(xs)
+	s, n := 0.0, 0
+	for _, x := range xs {
+		if !IsFinite(x) {
+			continue
+		}
+		d := x - m
+		s += d * d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// TestVarianceMatchesTwoPass pins the single-pass Welford Variance against
+// the two-pass reference on tick-series-like fixtures: the results must
+// agree to within a few ULPs of the variance magnitude. Nothing in the
+// pipeline persists Variance bits (no golden depends on them), so ULP-level
+// drift between the implementations is acceptable; this test documents and
+// bounds it.
+func TestVarianceMatchesTwoPass(t *testing.T) {
+	fixtures := [][]float64{
+		{2, 4, 4, 4, 5, 5, 7, 9},
+		{0.1, 0.1, 0.1, 0.1},
+		{1e9, 1e9 + 1, 1e9 + 2, 1e9 + 3}, // large offset: Welford's strong case
+		{0, math.NaN(), 1, math.Inf(1), 2, 3},
+		{},
+		{42},
+	}
+	// A long synthetic tick series like the profiler produces.
+	long := make([]float64, 100000)
+	for i := range long {
+		long[i] = 0.5 + 0.4*math.Sin(float64(i)/100) + 0.05*float64(i%7)
+	}
+	fixtures = append(fixtures, long)
+
+	for fi, xs := range fixtures {
+		w := Variance(xs)
+		ref := twoPassVariance(xs)
+		// Tolerance: rounding drift between the forms grows with the
+		// number of accumulation steps, so allow ~1 ULP of the reference
+		// magnitude per sample (with a small floor for tiny fixtures).
+		tol := (8 + float64(len(xs))) * math.Abs(ref) * 1e-16
+		if math.Abs(w-ref) > tol {
+			t.Errorf("fixture %d: welford = %g, two-pass = %g, |delta| = %g > %g",
+				fi, w, ref, math.Abs(w-ref), tol)
+		}
+	}
+}

@@ -24,6 +24,17 @@ func NewSeries(name string, dt float64) *Series {
 	return &Series{Name: name, DT: dt}
 }
 
+// NewSeriesCap creates an empty series whose backing array is pre-sized for
+// capHint samples, so a producer that knows its tick count up front (the
+// simulation engine derives it from the workload's phase timeline) appends
+// without ever regrowing. A non-positive hint falls back to NewSeries.
+func NewSeriesCap(name string, dt float64, capHint int) *Series {
+	if capHint <= 0 {
+		return NewSeries(name, dt)
+	}
+	return &Series{Name: name, DT: dt, Values: make([]float64, 0, capHint)}
+}
+
 // Append adds a sample.
 func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
 
