@@ -90,6 +90,45 @@ func BenchmarkSimulateWildLife(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateWildLifeFastForward is the same single-unit simulation
+// with phase fast-forwarding: steady-state spans of each phase are executed
+// analytically instead of tick by tick.
+func BenchmarkSimulateWildLifeFastForward(b *testing.B) {
+	eng, err := sim.New(sim.Config{FastForward: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := BenchmarkByName("3DMark Wild Life")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(wl, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharacterizeAllFastForward is the headline PR 6 number: the full
+// 18-unit, three-run pipeline in fast-forward mode with streamed statistics
+// for everything outside the analysis metric set.
+func BenchmarkCharacterizeAllFastForward(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds, err := core.Collect(core.Options{
+			Sim:     sim.Config{FastForward: true, TraceMode: sim.TraceAuto},
+			Runs:    3,
+			Workers: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ds.Units) != 18 {
+			b.Fatal("wrong unit count")
+		}
+	}
+}
+
 // BenchmarkFigure1 regenerates the per-benchmark metric rows (IC, IPC,
 // cache MPKI, branch MPKI, runtime).
 func BenchmarkFigure1(b *testing.B) {

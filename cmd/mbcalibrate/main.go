@@ -22,14 +22,26 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all cores)")
 	analysis := flag.Bool("analysis", false, "also run the downstream analyses (clustering, subsets, observations)")
 	features := flag.Bool("features", false, "print normalized clustering features and distances")
+	fastForward := flag.Bool("fast-forward", false,
+		"skip steady-state phase ticks analytically (about 4x faster; counters drift within the differential-suite tolerances)")
 	rf := cliflag.RegisterResilience()
 	cf := cliflag.RegisterCheckpoint()
+	pf := cliflag.RegisterProfile()
 	flag.Parse()
 
 	if err := cf.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
 		os.Exit(1)
 	}
+	if err := pf.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "mbcalibrate:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := pf.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "mbcalibrate: %v\n", err)
+		}
+	}()
 	if *analysis {
 		runAnalysis(*runs, *workers, rf, cf)
 		return
@@ -47,7 +59,7 @@ func main() {
 	// One Collect over every unit instead of a per-unit loop: the fan-out
 	// keeps all cores busy and -checkpoint/-resume cover the whole table.
 	ds, err := core.Collect(core.Options{
-		Sim:        sim.Config{Fault: inj},
+		Sim:        sim.Config{Fault: inj, FastForward: *fastForward},
 		Runs:       *runs,
 		Workers:    *workers,
 		Resilience: rf.Policy(),

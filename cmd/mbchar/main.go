@@ -30,6 +30,8 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	correlation := flag.Bool("correlation", false, "print only Table III")
 	observations := flag.Bool("observations", false, "print only the observation checks")
+	fastForward := flag.Bool("fast-forward", false,
+		"skip steady-state phase ticks analytically (about 4x faster; counters drift within the differential-suite tolerances)")
 	rf := cliflag.RegisterResilience()
 	cf := cliflag.RegisterCheckpoint()
 	pf := cliflag.RegisterProfile()
@@ -54,7 +56,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mbchar: characterizing with %d workers\n", par.Workers(*workers))
 	}
 	ds, err := core.Collect(core.Options{
-		Sim:        sim.Config{Seed: *seed, Fault: inj},
+		Sim:        sim.Config{Seed: *seed, Fault: inj, FastForward: *fastForward},
 		Runs:       *runs,
 		Workers:    *workers,
 		Resilience: rf.Policy(),

@@ -6,7 +6,8 @@
 //
 //	mbsim -bench "3DMark Wild Life" [-runs N] [-workers N] [-csv] [-list]
 //	      [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
-//	      [-inject SPEC] [-checkpoint FILE] [-resume]
+//	      [-inject SPEC] [-checkpoint FILE] [-resume] [-fast-forward]
+//	      [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -31,8 +32,11 @@ func main() {
 	csv := flag.Bool("csv", false, "dump the full counter trace as CSV")
 	list := flag.Bool("list", false, "list available benchmarks")
 	roiWindow := flag.Float64("roi", 0, "select representative regions of interest with this window length (seconds)")
+	fastForward := flag.Bool("fast-forward", false,
+		"skip steady-state phase ticks analytically (about 4x faster; counters drift within the differential-suite tolerances)")
 	rf := cliflag.RegisterResilience()
 	cf := cliflag.RegisterCheckpoint()
+	pf := cliflag.RegisterProfile()
 	flag.Parse()
 
 	if *list {
@@ -68,11 +72,19 @@ func main() {
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "mbsim: %d runs across %d workers\n", *runs, par.Workers(*workers))
 	}
+	if err := pf.Start(); err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := pf.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "mbsim: %v\n", err)
+		}
+	}()
 	// A single-unit Collect rather than a bare engine loop: the same
 	// fan-out drives every CLI, so -checkpoint/-resume behave identically
 	// here and in the full characterizations.
 	ds, err := core.Collect(core.Options{
-		Sim:        sim.Config{Fault: inj},
+		Sim:        sim.Config{Fault: inj, FastForward: *fastForward},
 		Runs:       *runs,
 		Units:      []workload.Workload{w},
 		Workers:    *workers,

@@ -215,6 +215,10 @@ type Stream struct {
 	rng  *xrand.Rand
 	last []bool // per-site previous outcome
 	pcs  []uint64
+	// siteZipf holds the precomputed hot-site draw constants
+	// (bit-identical to rng.Zipf(len(pcs), 1.1) per branch, one
+	// math.Pow cheaper).
+	siteZipf xrand.ZipfGen
 }
 
 // NewStream creates a branch stream for the profile.
@@ -226,6 +230,7 @@ func NewStream(prof Profile, rng *xrand.Rand) *Stream {
 	for i := range s.pcs {
 		s.pcs[i] = 0x400000 + uint64(i)*16
 	}
+	s.siteZipf = xrand.NewZipfGen(len(s.pcs), 1.1)
 	return s
 }
 
@@ -233,7 +238,7 @@ func NewStream(prof Profile, rng *xrand.Rand) *Stream {
 func (s *Stream) Measure(p Predictor, n int) uint64 {
 	var miss uint64
 	for i := 0; i < n; i++ {
-		site := s.rng.Zipf(len(s.pcs), 1.1) // hot loops dominate
+		site := s.siteZipf.Draw(s.rng) // hot loops dominate
 		pc := s.pcs[site]
 		var taken bool
 		switch {

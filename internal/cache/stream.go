@@ -77,6 +77,11 @@ type StreamGen struct {
 	base   uint64 // region base address (distinct per generator)
 	// hotLines caches the number of distinct lines in the working set.
 	lines uint64
+	// Precomputed Zipf draw constants for the hot-region and reuse
+	// distributions (bit-identical to calling rng.Zipf per access, minus
+	// one math.Pow per draw — the dominant sampling cost).
+	hotZipf   xrand.ZipfGen
+	reuseZipf xrand.ZipfGen
 }
 
 // NewStreamGen builds a generator for the pattern. Each generator gets a
@@ -84,12 +89,15 @@ type StreamGen struct {
 // share lines unless the workload says so.
 func NewStreamGen(pat AccessPattern, region uint64, rng *xrand.Rand) *StreamGen {
 	pat = pat.Clamp()
-	return &StreamGen{
+	g := &StreamGen{
 		pat:   pat,
 		rng:   rng,
 		base:  region << 40, // 1 TB-aligned region per generator
 		lines: pat.WorkingSetBytes / 64,
 	}
+	g.hotZipf = xrand.NewZipfGen(int(pat.HotBytes/64), 0.8)
+	g.reuseZipf = xrand.NewZipfGen(int(g.lines), pat.ReuseSkew)
+	return g
 }
 
 // Pattern returns the generator's pattern.
@@ -103,6 +111,7 @@ func (g *StreamGen) SetWorkingSet(bytes uint64) {
 	}
 	g.pat.WorkingSetBytes = bytes
 	g.lines = bytes / 64
+	g.reuseZipf = xrand.NewZipfGen(int(g.lines), g.pat.ReuseSkew)
 }
 
 // Next returns the next address in the synthetic stream and whether it
@@ -111,8 +120,7 @@ func (g *StreamGen) Next() (addr uint64, sequential bool) {
 	if g.rng.Bool(g.pat.HotFrac) {
 		// Hot-region access: skewed references within a tiny buffer kept
 		// in a separate sub-region so it stays resident.
-		lines := g.pat.HotBytes / 64
-		line := uint64(g.rng.Zipf(int(lines), 0.8))
+		line := uint64(g.hotZipf.Draw(g.rng))
 		return g.base + (1 << 30) + line*64 + g.rng.Uint64n(64)&^7, false
 	}
 	if g.rng.Bool(g.pat.SequentialFrac) {
@@ -123,7 +131,7 @@ func (g *StreamGen) Next() (addr uint64, sequential bool) {
 	}
 	var line uint64
 	if g.pat.ReuseSkew > 0 {
-		line = uint64(g.rng.Zipf(int(g.lines), g.pat.ReuseSkew))
+		line = uint64(g.reuseZipf.Draw(g.rng))
 	} else {
 		line = g.rng.Uint64n(g.lines)
 	}

@@ -32,6 +32,14 @@ func collectFingerprint(cfg sim.Config, runs int, units []workload.Workload, pol
 	fmt.Fprintf(h, "|seed=%d|tick=%g|cache=%d|branch=%d|refresh=%d|rjit=%g|noise=%g|gov=%q|throttle=%t",
 		cfg.Seed, cfg.TickSec, cfg.CacheSamples, cfg.BranchSamples, cfg.RefreshTicks,
 		cfg.RuntimeJitterRel, cfg.NoiseRel, cfg.Governor, cfg.EnableThermalThrottle)
+	// Appended only when non-default so every fingerprint minted before
+	// these options existed still verifies (PR 5 snapshots stay loadable).
+	if cfg.FastForward {
+		fmt.Fprintf(h, "|ff=true")
+	}
+	if cfg.TraceMode != sim.TraceFull {
+		fmt.Fprintf(h, "|tmode=%d", cfg.TraceMode)
+	}
 	// The platform digest covers every cluster/GPU/AIE/memory parameter;
 	// %+v renders structs field by field and maps in sorted key order, so
 	// the rendering is deterministic for a given binary.

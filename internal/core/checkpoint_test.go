@@ -325,6 +325,9 @@ func TestCheckpointFingerprintSensitivity(t *testing.T) {
 	o = base
 	o.Sim.Fault = fault.New(fault.Config{Seed: 1, Crash: 0.5})
 	differs["fault config"] = o
+	o = base
+	o.Sim.FastForward = true
+	differs["fast-forward"] = o
 	for what, opt := range differs {
 		if fp(opt) == got {
 			t.Errorf("changing %s did not change the fingerprint", what)

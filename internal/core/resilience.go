@@ -270,7 +270,7 @@ func collectRun(ctx context.Context, eng *sim.Engine, w workload.Workload, run i
 		st.prov.Attempts++
 
 		res, err := runAttempt(ctx, eng, w, run, attempt, pol.RunTimeout)
-		if err == nil {
+		if err == nil && res.Trace != nil {
 			if verr := res.Trace.Validate(); verr != nil {
 				lastCorrupt, err = res, verr
 			}
@@ -457,6 +457,8 @@ func outlierSignature(r *sim.Result) []float64 {
 		v := 0.0
 		if s := r.Trace.Series(m); s != nil {
 			v = s.Mean()
+		} else if r.Summary != nil {
+			v = r.Summary.Mean(m)
 		}
 		dims = append(dims, v)
 	}

@@ -6,6 +6,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"mobilebench/internal/sim"
 )
 
 // OptionError reports one invalid collection option.
@@ -77,8 +79,15 @@ func (o Options) Validate() error {
 			return &OptionError{f.name, f.v, "must be a finite value >= 0 (0 selects the default)"}
 		}
 	}
+	if m := o.Sim.TraceMode; m < sim.TraceFull || m > sim.TraceAuto {
+		return &OptionError{"Sim.TraceMode", m, "must be TraceFull, TraceStreamed or TraceAuto"}
+	}
 	if o.Resume && o.Checkpoint == "" {
 		return &OptionError{"Resume", o.Resume, "requires Checkpoint to name the snapshot file to resume from"}
+	}
+	if o.Checkpoint != "" && o.Sim.TraceMode != sim.TraceFull {
+		return &OptionError{"Checkpoint", o.Checkpoint,
+			"checkpointed collection requires Sim.TraceMode == TraceFull (snapshots restore full traces)"}
 	}
 	seen := make(map[string]bool, len(o.Units))
 	for _, u := range o.Units {

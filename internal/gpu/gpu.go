@@ -147,6 +147,15 @@ func (m *Model) Reset() {
 	m.texGen = nil
 }
 
+// ResetSeed is Reset plus re-seeding the texture-stream RNG. A flushed
+// texture cache is access-for-access identical to a fresh one and the
+// texture stream generator is rebuilt lazily from the new rng, so a pooled
+// model reset this way behaves bit-identically to NewModel(hw, disp, rng).
+func (m *Model) ResetSeed(rng *xrand.Rand) {
+	m.Reset()
+	m.rng = rng
+}
+
 // peakWorkPerSec is shader throughput at freq.
 func (m *Model) peakWorkPerSec(freqHz float64) float64 {
 	return float64(m.hw.NumShaders) * freqHz

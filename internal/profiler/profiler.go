@@ -75,6 +75,11 @@ func (p *Profiler) Sample(metric string, v float64) {
 	s.Append(v)
 }
 
+// SeriesOf returns the live series backing a metric, or nil before its
+// first Sample. The simulator's fast-forward path uses it to bulk-extend
+// frozen metrics (trace.Series.AppendRepeat) without going through Sample.
+func (p *Profiler) SeriesOf(metric string) *trace.Series { return p.series[metric] }
+
 // Trace freezes the profiler into a Trace, verifying that all series have
 // the same length.
 func (p *Profiler) Trace() (*Trace, error) {
@@ -105,8 +110,15 @@ type Trace struct {
 // Duration returns the covered wall-clock time.
 func (t *Trace) Duration() float64 { return float64(t.Samples) * t.DT }
 
-// Series returns the named metric series, or nil when absent.
-func (t *Trace) Series(name string) *trace.Series { return t.series[name] }
+// Series returns the named metric series, or nil when absent. A nil
+// receiver (a run collected without a trace, sim.TraceStreamed) has no
+// series.
+func (t *Trace) Series(name string) *trace.Series {
+	if t == nil {
+		return nil
+	}
+	return t.series[name]
+}
 
 // MustSeries returns the named series or panics; for metrics the simulator
 // always emits.

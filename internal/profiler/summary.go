@@ -1,0 +1,178 @@
+package profiler
+
+import (
+	"fmt"
+
+	"mobilebench/internal/stats"
+)
+
+// Summary is the streaming counterpart of Trace: per-metric moment
+// accumulators (stats.Stream) plus a log-grid quantile sketch
+// (stats.Quantiles), folded sample-by-sample while the simulator runs
+// instead of materializing every tick. It answers the whole-run questions
+// the aggregate analyses ask (mean, extrema, spread, tail fractions)
+// without the O(ticks x metrics) trace working set; callers that need a
+// figure's raw time axis still request a Trace (sim.TraceFull / TraceAuto).
+//
+// Metric order is first-folded order, mirroring Trace, so summaries built
+// from the same engine tick loop enumerate identically run after run.
+type Summary struct {
+	// DT is the sampling interval in seconds.
+	DT float64
+	// Ticks is how many simulation ticks were folded.
+	Ticks int
+
+	slots map[string]*SummarySlot
+	order []string
+}
+
+// SummarySlot carries one metric's accumulators.
+type SummarySlot struct {
+	Stream stats.Stream
+	Sketch stats.Quantiles
+}
+
+// NewSummary creates an empty summary sampling at interval dt seconds.
+func NewSummary(dt float64) *Summary {
+	return &Summary{DT: dt, slots: make(map[string]*SummarySlot)}
+}
+
+// Slot returns the metric's accumulator, creating it on first use (which
+// fixes its position in Metrics order). The engine's tick emitter caches
+// the returned pointer so fast-forwarded spans fold without map lookups.
+func (s *Summary) Slot(metric string) *SummarySlot {
+	sl, ok := s.slots[metric]
+	if !ok {
+		sl = &SummarySlot{}
+		s.slots[metric] = sl
+		s.order = append(s.order, metric)
+	}
+	return sl
+}
+
+// SlotOf returns the metric's accumulator, or nil when the metric was never
+// folded.
+func (s *Summary) SlotOf(metric string) *SummarySlot {
+	if s == nil {
+		return nil
+	}
+	return s.slots[metric]
+}
+
+// Add folds one sample for the metric.
+func (s *Summary) Add(metric string, v float64) {
+	sl := s.Slot(metric)
+	sl.Stream.Add(v)
+	sl.Sketch.Add(v)
+}
+
+// AddN folds k identical samples in O(1) — the fast-forward bulk fold for a
+// metric frozen across a skipped span.
+func (s *Summary) AddN(metric string, v float64, k int64) {
+	sl := s.Slot(metric)
+	sl.Stream.AddN(v, k)
+	sl.Sketch.AddN(v, k)
+}
+
+// Metrics returns metric names in first-folded order.
+func (s *Summary) Metrics() []string {
+	if s == nil {
+		return nil
+	}
+	return append([]string(nil), s.order...)
+}
+
+// Mean returns the metric's mean over the run (0 when absent).
+func (s *Summary) Mean(metric string) float64 {
+	if sl := s.SlotOf(metric); sl != nil {
+		return sl.Stream.Mean()
+	}
+	return 0
+}
+
+// Max returns the metric's maximum over the run (0 when absent).
+func (s *Summary) Max(metric string) float64 {
+	if sl := s.SlotOf(metric); sl != nil {
+		return sl.Stream.Max()
+	}
+	return 0
+}
+
+// Min returns the metric's minimum over the run (0 when absent).
+func (s *Summary) Min(metric string) float64 {
+	if sl := s.SlotOf(metric); sl != nil {
+		return sl.Stream.Min()
+	}
+	return 0
+}
+
+// StdDev returns the metric's population standard deviation (0 when absent).
+func (s *Summary) StdDev(metric string) float64 {
+	if sl := s.SlotOf(metric); sl != nil {
+		return sl.Stream.StdDev()
+	}
+	return 0
+}
+
+// Quantile returns the metric's approximate p-quantile (0 when absent).
+func (s *Summary) Quantile(metric string, p float64) float64 {
+	if sl := s.SlotOf(metric); sl != nil {
+		return sl.Sketch.Quantile(p)
+	}
+	return 0
+}
+
+// FracAbove returns the approximate fraction of the metric's samples
+// strictly above x (0 when absent).
+func (s *Summary) FracAbove(metric string, x float64) float64 {
+	if sl := s.SlotOf(metric); sl != nil {
+		return sl.Sketch.FracAbove(x)
+	}
+	return 0
+}
+
+// MergeSummaries pools several runs' summaries into one (the streaming
+// analogue of MeanTraces: with equal tick counts, the pooled mean equals
+// the mean of per-run means). Summaries are merged in slice order, so the
+// result is deterministic for a fixed run order.
+func MergeSummaries(runs []*Summary) (*Summary, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("profiler: MergeSummaries of nothing")
+	}
+	out := NewSummary(runs[0].DT)
+	for _, r := range runs {
+		if r == nil {
+			return nil, fmt.Errorf("profiler: MergeSummaries with a nil summary")
+		}
+		if r.DT != out.DT {
+			return nil, fmt.Errorf("profiler: MergeSummaries interval mismatch: %g vs %g", r.DT, out.DT)
+		}
+		out.Ticks += r.Ticks
+		for _, name := range r.order {
+			sl := out.Slot(name)
+			src := r.slots[name]
+			sl.Stream.Merge(&src.Stream)
+			sl.Sketch.Merge(&src.Sketch)
+		}
+	}
+	return out, nil
+}
+
+// AnalysisMetrics lists the platform-independent metrics the analysis layer
+// reads as raw series (Figure 2's Table IV set, the feature vector's
+// storage term, ROI/outlier screening's IPC, and the workload-memory
+// aggregate). sim.TraceAuto materializes exactly these plus the per-cluster
+// load series (whose names depend on the platform) and summarizes the rest.
+func AnalysisMetrics() []string {
+	return []string{
+		MetricCPULoad,
+		MetricGPULoad,
+		MetricShadersBusy,
+		MetricGPUBusBusy,
+		MetricAIELoad,
+		MetricUsedMem,
+		MetricStorageUtil,
+		MetricIPC,
+		MetricWorkloadMem,
+	}
+}

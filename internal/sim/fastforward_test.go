@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"mobilebench/internal/profiler"
+	"mobilebench/internal/workload"
+)
+
+// The differential suite: every bundled analysis unit simulated twice — once
+// on the exact per-tick path and once with phase fast-forwarding — and the
+// aggregate drift pinned per metric. The tolerances encode the accepted
+// approximation error of the fast-forward estimator (see DESIGN.md §11):
+// tiled load/power/memory metrics replay the detected limit cycle and stay
+// essentially exact, while the sampled counter rates (IPC, MPKI) carry both
+// sampling noise and a systematic bias from decimated cache warm-up.
+const (
+	// ffTolLoad bounds relative drift on utilization, power, energy and
+	// memory aggregates, which fast-forwarding tiles from exact ticks.
+	ffTolLoad = 0.02
+	// ffTolRate bounds relative drift on IPC and the derived instruction
+	// count. Decimated refresh stops slow cache warm-up, so fast-forwarded
+	// runs sit slightly cold relative to the exact path.
+	ffTolRate = 0.15
+	// ffTolMPKI bounds relative drift on the cache/branch miss rates. The
+	// same warm-up deficit hits the miss counts harder than IPC because
+	// they sit in the numerator of a small rate: the worst bundled unit
+	// (Antutu CPU branch misses) drifts 23%.
+	ffTolMPKI = 0.25
+	// ffLoadFloor is the absolute utilization below which cluster-load
+	// drift is not checked: a 0.001 absolute wobble on a 3%-loaded
+	// cluster is measurement noise, not estimator error.
+	ffLoadFloor = 0.05
+)
+
+func relDrift(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 0 {
+		return d / m
+	}
+	return 0
+}
+
+func checkDrift(t *testing.T, unit, metric string, ff, exact, tol float64) {
+	t.Helper()
+	if d := relDrift(ff, exact); d > tol {
+		t.Errorf("%s: %s drift %.4f > %.2f (ff %.6g exact %.6g)", unit, metric, d, tol, ff, exact)
+	}
+}
+
+func TestFastForwardDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential suite simulates every unit twice")
+	}
+	exact := MustNew(Config{})
+	ff := MustNew(Config{FastForward: true})
+	for _, u := range workload.AnalysisUnits() {
+		u := u
+		t.Run(u.Name, func(t *testing.T) {
+			re, err := exact.Run(u, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rf, err := ff.Run(u, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Fast-forwarding replaces tick execution, never tick
+			// emission: the trace shape must be identical.
+			if re.Trace.Samples != rf.Trace.Samples {
+				t.Fatalf("sample count diverged: exact %d ff %d", re.Trace.Samples, rf.Trace.Samples)
+			}
+			if re.Trace.NumMetrics() != rf.Trace.NumMetrics() {
+				t.Fatalf("metric count diverged: exact %d ff %d", re.Trace.NumMetrics(), rf.Trace.NumMetrics())
+			}
+			if re.Agg.RuntimeSec != rf.Agg.RuntimeSec {
+				t.Fatalf("runtime diverged: exact %g ff %g", re.Agg.RuntimeSec, rf.Agg.RuntimeSec)
+			}
+			a, b := rf.Agg, re.Agg
+			checkDrift(t, u.Name, "IPC", a.IPC, b.IPC, ffTolRate)
+			checkDrift(t, u.Name, "InstrCount", a.InstrCount, b.InstrCount, ffTolRate)
+			checkDrift(t, u.Name, "CacheMPKI", a.CacheMPKI, b.CacheMPKI, ffTolMPKI)
+			checkDrift(t, u.Name, "BranchMPKI", a.BranchMPKI, b.BranchMPKI, ffTolMPKI)
+			checkDrift(t, u.Name, "AvgCPULoad", a.AvgCPULoad, b.AvgCPULoad, ffTolLoad)
+			checkDrift(t, u.Name, "AvgGPULoad", a.AvgGPULoad, b.AvgGPULoad, ffTolLoad)
+			checkDrift(t, u.Name, "AvgShadersBusy", a.AvgShadersBusy, b.AvgShadersBusy, ffTolLoad)
+			checkDrift(t, u.Name, "AvgGPUBusBusy", a.AvgGPUBusBusy, b.AvgGPUBusBusy, ffTolLoad)
+			checkDrift(t, u.Name, "AvgAIELoad", a.AvgAIELoad, b.AvgAIELoad, ffTolLoad)
+			checkDrift(t, u.Name, "AvgUsedMemMB", a.AvgUsedMemMB, b.AvgUsedMemMB, ffTolLoad)
+			checkDrift(t, u.Name, "PeakUsedMemMB", a.PeakUsedMemMB, b.PeakUsedMemMB, ffTolLoad)
+			checkDrift(t, u.Name, "AvgPowerW", a.AvgPowerW, b.AvgPowerW, ffTolLoad)
+			checkDrift(t, u.Name, "EnergyJ", a.EnergyJ, b.EnergyJ, ffTolLoad)
+			checkDrift(t, u.Name, "PeakCPUTempC", a.PeakCPUTempC, b.PeakCPUTempC, ffTolLoad)
+			for k := range a.ClusterLoad {
+				if a.ClusterLoad[k] < ffLoadFloor && b.ClusterLoad[k] < ffLoadFloor {
+					continue
+				}
+				checkDrift(t, u.Name, "ClusterLoad", a.ClusterLoad[k], b.ClusterLoad[k], ffTolLoad)
+			}
+			t.Logf("%-28s IPC %.4f/%.4f  MPKI %.2f/%.2f  CPU %.3f/%.3f  E %.1f/%.1f",
+				u.Name, a.IPC, b.IPC, a.CacheMPKI, b.CacheMPKI,
+				a.AvgCPULoad, b.AvgCPULoad, a.EnergyJ, b.EnergyJ)
+		})
+	}
+}
+
+// TestFastForwardDeterministic pins that the approximate path is still a
+// deterministic function of (workload, run): two fast-forwarded runs must be
+// byte-identical to each other even though they drift from the exact path.
+func TestFastForwardDeterministic(t *testing.T) {
+	eng := MustNew(Config{FastForward: true})
+	w := workload.AnalysisUnits()[0]
+	a, err := eng.Run(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Run(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Agg != b.Agg {
+		t.Fatalf("fast-forwarded run not deterministic:\n%+v\n%+v", a.Agg, b.Agg)
+	}
+	for _, m := range []string{profiler.MetricCPULoad, profiler.MetricGPULoad, "energy.total_j"} {
+		sa, sb := a.Trace.MustSeries(m), b.Trace.MustSeries(m)
+		for i := range sa.Values {
+			if sa.Values[i] != sb.Values[i] {
+				t.Fatalf("%s sample %d diverged: %g vs %g", m, i, sa.Values[i], sb.Values[i])
+			}
+		}
+	}
+}
+
+// TestFastForwardNoJumpIsExact pins the fallback contract: phases too short
+// to accumulate the evidence gate (ffMinRefreshes exact refreshes plus two
+// post-warmup rate draws) never jump, and a fast-forwarding engine that
+// never jumps is bit-identical to the exact path — the ff bookkeeping has no
+// side effects of its own.
+func TestFastForwardNoJumpIsExact(t *testing.T) {
+	w := tinyWorkload()
+	for i := range w.Phases {
+		w.Phases[i].Duration = 1.5 // 15 ticks = 3 refreshes < ffMinRefreshes
+	}
+	a, err := MustNew(Config{}).Run(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MustNew(Config{FastForward: true}).Run(w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Agg != b.Agg {
+		t.Fatalf("no-jump fast-forward diverged from exact:\n%+v\n%+v", a.Agg, b.Agg)
+	}
+}
+
+// TestFastForwardCancellation is the cancellation-latency guarantee: the
+// engine re-checks ctx before and after every analytic jump, so a cancelled
+// fast-forwarded run must abort promptly rather than completing its spans.
+func TestFastForwardCancellation(t *testing.T) {
+	eng := MustNew(Config{FastForward: true})
+	w := workload.AnalysisUnits()[0]
+
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.RunContext(done, w, 0); err != context.Canceled {
+		t.Fatalf("pre-cancelled context: got %v, want context.Canceled", err)
+	}
+
+	ctx, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		cancel2()
+	}()
+	start := time.Now()
+	_, err := eng.RunContext(ctx, w, 0)
+	lat := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("mid-run cancel: got %v, want context.Canceled", err)
+	}
+	if lat > time.Second {
+		t.Fatalf("cancellation latency %v exceeds 1 s", lat)
+	}
+}
+
+// TestTraceModeStreamed pins the streamed collection contract: no trace is
+// materialized, and the summary reproduces the trace statistics exactly
+// (same per-tick folds, so means match to float round-off).
+func TestTraceModeStreamed(t *testing.T) {
+	full, err := MustNew(Config{}).Run(tinyWorkload(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MustNew(Config{TraceMode: TraceStreamed}).Run(tinyWorkload(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace != nil {
+		t.Fatal("TraceStreamed materialized a trace")
+	}
+	if res.Summary == nil {
+		t.Fatal("TraceStreamed produced no summary")
+	}
+	if res.Agg != full.Agg {
+		t.Fatalf("aggregates depend on TraceMode:\n%+v\n%+v", res.Agg, full.Agg)
+	}
+	for _, m := range []string{profiler.MetricCPULoad, profiler.MetricGPULoad, "energy.total_j"} {
+		want := full.Trace.MustSeries(m).Mean()
+		got := res.Summary.Mean(m)
+		if math.Abs(want-got) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("%s: summary mean %g, trace mean %g", m, got, want)
+		}
+		if n := res.Summary.SlotOf(m).Stream.Count(); int(n) != full.Trace.Samples {
+			t.Errorf("%s: summary count %d, trace samples %d", m, n, full.Trace.Samples)
+		}
+	}
+}
+
+// TestTraceModeAuto pins the hybrid mode: the analysis metric set is traced,
+// everything else is summary-only.
+func TestTraceModeAuto(t *testing.T) {
+	res, err := MustNew(Config{TraceMode: TraceAuto}).Run(tinyWorkload(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || res.Summary == nil {
+		t.Fatal("TraceAuto must produce both a trace and a summary")
+	}
+	for _, m := range profiler.AnalysisMetrics() {
+		if res.Trace.Series(m) == nil {
+			t.Errorf("analysis metric %s not traced in TraceAuto", m)
+		}
+	}
+	if res.Trace.Series("thermal.soc_c") != nil {
+		t.Error("non-analysis metric materialized in TraceAuto")
+	}
+}

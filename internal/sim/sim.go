@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"sync"
 	"time"
 
@@ -76,7 +77,38 @@ type Config struct {
 	// fault.WithAttempt — so injected chaos is reproducible for any
 	// worker count. nil (the default) injects nothing.
 	Fault *fault.Injector
+	// FastForward enables phase fast-forwarding: once a phase reaches
+	// steady state (settled DVFS, converged miss profiles, decayed GPU/AIE
+	// transients) the remaining ticks are executed analytically instead of
+	// one by one, with the RNG streams advanced in stride so later phases
+	// see the exact noise sequence. Off (the default) keeps the exact,
+	// byte-identical path; on, results drift within the tolerances pinned
+	// by the differential suite (TestFastForwardDifferential). Incompatible
+	// with EnableThermalThrottle, whose feedback loop never freezes.
+	FastForward bool
+	// TraceMode selects what a run materializes: TraceFull (default) the
+	// complete per-tick counter trace, TraceStreamed only streaming summary
+	// statistics (Result.Trace is nil), TraceAuto the analysis layer's
+	// metric subset as a trace plus summaries for everything.
+	TraceMode TraceMode
 }
+
+// TraceMode selects how much of the per-tick counter stream a run keeps.
+type TraceMode int
+
+const (
+	// TraceFull materializes every counter's full time series (the exact
+	// historical behaviour; required for checkpointed collection).
+	TraceFull TraceMode = iota
+	// TraceStreamed folds every counter into streaming summary statistics
+	// (profiler.Summary) and materializes no trace at all. Analyses that
+	// need raw series (Figure 2/3, observations, ROI) are unavailable.
+	TraceStreamed
+	// TraceAuto materializes full series only for the metrics the analysis
+	// layer reads raw (Table IV set, per-cluster loads, IPC, storage) and
+	// folds everything else into summaries.
+	TraceAuto
+)
 
 // DefaultConfig returns the configuration used throughout the repository.
 func DefaultConfig() Config {
@@ -141,6 +173,11 @@ type Engine struct {
 	// the pipeline's single largest allocation source.
 	names [soc.NumClusters]clusterMetricNames
 
+	// auto is the TraceAuto materialization set: the analysis layer's
+	// platform-independent metrics plus this platform's per-cluster load
+	// series.
+	auto map[string]bool
+
 	// free pools runModels across runs: cache tag/valid/LRU arrays and
 	// predictor tables dominate per-run allocation after the name tables,
 	// and a flushed model is behaviourally identical to a fresh one (see
@@ -150,14 +187,24 @@ type Engine struct {
 	free []*runModels
 }
 
-// runModels is the allocation-heavy per-run model state an Engine pools:
-// the shared L3/SLC, per-cluster cache hierarchies and branch predictors,
-// and the scheduler (whose core list and sort scratch are reusable but not
-// concurrency-safe). Exactly one Run uses a runModels at a time.
+// runModels is the per-run model state an Engine pools: the shared L3/SLC,
+// per-cluster cache hierarchies and branch predictors, the scheduler (whose
+// core list and sort scratch are reusable but not concurrency-safe), and
+// the auxiliary GPU/AIE/memory/storage/power/thermal models (cheap to
+// reset, formerly rebuilt per run). Exactly one Run uses a runModels at a
+// time; batch runs (RunBatchContext) reuse one acquisition across several
+// runs with a reset in between.
 type runModels struct {
 	l3, slc   *cache.Cache
 	clusters  []*clusterState
 	scheduler *sched.EAS
+
+	powerM   *power.Model
+	thermalM *thermal.Model
+	gpuM     *gpu.Model
+	aieM     *aie.Model
+	memM     *mem.Model
+	ioM      *mem.Storage
 }
 
 // newRunModels builds a fresh model set for one run.
@@ -185,7 +232,18 @@ func (e *Engine) newRunModels() (*runModels, error) {
 			pred: branch.NewTournament(14, 14),
 		})
 	}
-	return &runModels{l3: l3, slc: slc, clusters: clusters, scheduler: sched.NewEAS(e.plat)}, nil
+	return &runModels{
+		l3: l3, slc: slc, clusters: clusters, scheduler: sched.NewEAS(e.plat),
+		powerM:   power.NewModel(power.DefaultCoefficients()),
+		thermalM: thermal.NewModel(thermal.DefaultConfig()),
+		// The GPU model's texture RNG is per-run; runWith re-seeds it via
+		// ResetSeed before the first tick, so the placeholder stream here is
+		// never consumed.
+		gpuM: gpu.NewModel(e.plat.GPU, e.plat.Display, xrand.New(1)),
+		aieM: aie.NewModel(e.plat.AIE),
+		memM: mem.NewModel(e.plat.Memory),
+		ioM:  mem.NewStorage(e.plat.Storage),
+	}, nil
 }
 
 // reset returns a pooled model set to its initial state: caches flushed
@@ -210,6 +268,14 @@ func (m *runModels) reset(cfg Config) error {
 		cs.miss = cpu.MissProfile{}
 		cs.phaseIdx = -1
 	}
+	// Auxiliary models carry only accumulators and first-order state; their
+	// Resets restore the exact just-constructed state (the storage model is
+	// stateless). The GPU model is re-seeded per run by runWith instead,
+	// because its reset needs the run's RNG stream.
+	m.powerM.Reset()
+	m.thermalM.Reset()
+	m.aieM.Reset()
+	m.memM.Reset()
 	return nil
 }
 
@@ -293,7 +359,23 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.Platform.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.TraceMode < TraceFull || cfg.TraceMode > TraceAuto {
+		return nil, fmt.Errorf("sim: unknown TraceMode %d", cfg.TraceMode)
+	}
+	if cfg.FastForward && cfg.EnableThermalThrottle {
+		// The throttle feedback loop (temperature capping next-tick DVFS)
+		// never reaches a freezable steady state; the combination would
+		// silently simulate a different machine.
+		return nil, fmt.Errorf("sim: FastForward is incompatible with EnableThermalThrottle")
+	}
 	e := &Engine{cfg: cfg, plat: cfg.Platform, names: buildMetricNames(cfg.Platform)}
+	e.auto = make(map[string]bool, 16)
+	for _, m := range profiler.AnalysisMetrics() {
+		e.auto[m] = true
+	}
+	for _, k := range soc.Clusters() {
+		e.auto[e.names[k].load] = true
+	}
 	// Seed the pool with one model set so a sequential caller's first Run
 	// pays no model construction either.
 	m, err := e.newRunModels()
@@ -355,8 +437,14 @@ type Aggregates struct {
 // Result is one run of one workload.
 type Result struct {
 	Workload string
-	Trace    *profiler.Trace
-	Agg      Aggregates
+	// Trace is the materialized counter time series; nil when the run was
+	// collected with TraceStreamed (the Summary then carries the run's
+	// statistics).
+	Trace *profiler.Trace
+	// Summary holds streaming per-metric statistics; nil in TraceFull mode
+	// (the historical default, where the Trace carries everything).
+	Summary *profiler.Summary
+	Agg     Aggregates
 }
 
 type clusterState struct {
@@ -384,9 +472,23 @@ func (e *Engine) Run(w workload.Workload, run int) (*Result, error) {
 const ctxCheckTicks = 64
 
 // RunContext is Run with cancellation: the context is polled every
-// ctxCheckTicks simulation ticks, so a cancelled run aborts within a few
-// microseconds instead of completing the workload.
+// ctxCheckTicks simulation ticks (and around every fast-forward jump), so a
+// cancelled run aborts within a few microseconds instead of completing the
+// workload.
 func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (*Result, error) {
+	// Cache hierarchies, predictors, scheduler and auxiliary models come
+	// from the engine's model pool; this run holds them exclusively until
+	// it returns.
+	models, err := e.acquireModels()
+	if err != nil {
+		return nil, err
+	}
+	defer e.releaseModels(models)
+	return e.runWith(ctx, w, run, models)
+}
+
+// runWith executes one run on an already-acquired (and reset) model set.
+func (e *Engine) runWith(ctx context.Context, w workload.Workload, run int, models *runModels) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -416,22 +518,18 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 	}
 	jw := workload.Workload{Name: w.Name, Suite: w.Suite, Target: w.Target, Phases: phases}
 
-	// Cache hierarchies, predictors and scheduler come from the engine's
-	// model pool; this run holds them exclusively until it returns.
-	models, err := e.acquireModels()
-	if err != nil {
-		return nil, err
-	}
-	defer e.releaseModels(models)
 	l3, slc := models.l3, models.slc
 	clusters := models.clusters
 	scheduler := models.scheduler
-	powerModel := power.NewModel(power.DefaultCoefficients())
-	thermalModel := thermal.NewModel(thermal.DefaultConfig())
-	gpuModel := gpu.NewModel(e.plat.GPU, e.plat.Display, rng.Split(0x91))
-	aieModel := aie.NewModel(e.plat.AIE)
-	memModel := mem.NewModel(e.plat.Memory)
-	ioModel := mem.NewStorage(e.plat.Storage)
+	powerModel := models.powerM
+	thermalModel := models.thermalM
+	gpuModel := models.gpuM
+	aieModel := models.aieM
+	memModel := models.memM
+	ioModel := models.ioM
+	// Re-seed the pooled GPU model with this run's stream; Split leaves the
+	// parent untouched, so the derivation point does not matter.
+	gpuModel.ResetSeed(rng.Split(0x91))
 
 	duration := jw.Duration()
 	ticks := int(duration / cfg.TickSec)
@@ -440,8 +538,28 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 	}
 	// Every counter appends one sample per tick; pre-sizing the series from
 	// the phase-timeline tick count makes each backing array grow exactly
-	// once instead of log(ticks) times per counter.
-	prof := profiler.NewCap(cfg.TickSec, ticks)
+	// once instead of log(ticks) times per counter. In TraceStreamed mode no
+	// series exist at all; in TraceAuto only the analysis set does.
+	var prof *profiler.Profiler
+	var sum *profiler.Summary
+	switch cfg.TraceMode {
+	case TraceStreamed:
+		sum = profiler.NewSummary(cfg.TickSec)
+	case TraceAuto:
+		prof = profiler.NewCap(cfg.TickSec, ticks)
+		sum = profiler.NewSummary(cfg.TickSec)
+	default:
+		prof = profiler.NewCap(cfg.TickSec, ticks)
+	}
+	em := tickEmitter{prof: prof, sum: sum}
+	if cfg.TraceMode == TraceAuto {
+		em.auto = e.auto
+	}
+	var ff *ffState
+	if cfg.FastForward {
+		ff = newFFState(cfg.RefreshTicks)
+		em.rec = newTickRecord()
+	}
 
 	// Injected mid-run faults fire at deterministic tick positions.
 	abortTick, hangTick, panicTick := -1, -1, -1
@@ -468,6 +586,13 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 		// reallocated once warm) at the top of every tick. Run-local, so
 		// concurrent RunContext calls never share it.
 		tasks []sched.Task
+		// Fast-forward bookkeeping: per-cluster load contributions this
+		// tick, cumulative-miss values at tick entry (to measure the tick's
+		// deltas for the rate window), and the ring of recent tick inputs a
+		// jump replays. Dead weight on the exact path.
+		tickClusterLoad                   [soc.NumClusters]float64
+		ffPrevCacheMiss, ffPrevBranchMiss float64
+		ffRing                            [ffMaxPeriod]ffTickIn
 	)
 	agg.Name = w.Name
 
@@ -476,6 +601,10 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+		}
+		if ff != nil {
+			ffPrevCacheMiss, ffPrevBranchMiss = totCacheMiss, totBranchMiss
+			em.rec.begin(ff.idx())
 		}
 		switch tick {
 		case abortTick:
@@ -545,6 +674,7 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 			clusterLoad := util * cs.freqHz / cs.cl.MaxFreqHz
 			agg.ClusterLoad[cs.kind] += clusterLoad
 			cpuLoadSum += clusterLoad * float64(cs.cl.NumCores)
+			tickClusterLoad[cs.kind] = clusterLoad
 
 			active := util > 1e-4
 			if active && (cs.phaseIdx != phaseIdx || tick%cfg.RefreshTicks == 0) {
@@ -578,9 +708,9 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 			cpuDRAMBytes += cs.miss.MissesPerInstr[3] * ins * 64
 
 			nm := &e.names[cs.kind]
-			prof.Sample(nm.ipc, ipc)
-			prof.Sample(nm.cacheMPKI, cacheMiss*1000)
-			prof.Sample(nm.branchMPKI, cs.miss.BranchMissPerInstr*1000)
+			em.sample(nm.ipc, ipc)
+			em.sample(nm.cacheMPKI, cacheMiss*1000)
+			em.sample(nm.branchMPKI, cs.miss.BranchMissPerInstr*1000)
 		}
 		// Clusters that were idle this tick still need aligned samples.
 		for _, cs := range clusters {
@@ -594,9 +724,9 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 				util = 1
 			}
 			if util <= 1e-4 {
-				prof.Sample(nm.ipc, 0)
-				prof.Sample(nm.cacheMPKI, 0)
-				prof.Sample(nm.branchMPKI, 0)
+				em.sample(nm.ipc, 0)
+				em.sample(nm.cacheMPKI, 0)
+				em.sample(nm.branchMPKI, 0)
 			}
 			powerIn.Clusters[cs.kind] = power.ClusterInput{
 				FreqHz:    cs.freqHz,
@@ -604,11 +734,11 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 				MaxFreqHz: cs.cl.MaxFreqHz,
 				Cores:     cs.cl.NumCores,
 			}
-			prof.Sample(nm.util, util)
-			prof.Sample(nm.freqMHz, cs.freqHz/1e6)
-			prof.Sample(nm.load, util*cs.freqHz/cs.cl.MaxFreqHz)
-			prof.Sample(nm.activeCores, float64(load.ActiveCores))
-			prof.Sample(nm.overflow, load.Overflow)
+			em.sample(nm.util, util)
+			em.sample(nm.freqMHz, cs.freqHz/1e6)
+			em.sample(nm.load, util*cs.freqHz/cs.cl.MaxFreqHz)
+			em.sample(nm.activeCores, float64(load.ActiveCores))
+			em.sample(nm.overflow, load.Overflow)
 			// Per-core views: cores within a cluster behave near
 			// identically (the paper averages them for the same reason).
 			ipcNow := 0.0
@@ -621,18 +751,18 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 			}
 			for c := 0; c < cs.cl.NumCores; c++ {
 				cn := &nm.core[c]
-				prof.Sample(cn.load, util*cs.freqHz/cs.cl.MaxFreqHz)
-				prof.Sample(cn.util, util)
-				prof.Sample(cn.freqMHz, cs.freqHz/1e6)
-				prof.Sample(cn.ipc, ipcNow)
-				prof.Sample(cn.cacheMPKI, cacheSum*1000)
-				prof.Sample(cn.branchMPKI, cs.miss.BranchMissPerInstr*1000)
+				em.sample(cn.load, util*cs.freqHz/cs.cl.MaxFreqHz)
+				em.sample(cn.util, util)
+				em.sample(cn.freqMHz, cs.freqHz/1e6)
+				em.sample(cn.ipc, ipcNow)
+				em.sample(cn.cacheMPKI, cacheSum*1000)
+				em.sample(cn.branchMPKI, cs.miss.BranchMissPerInstr*1000)
 				for i := range cn.level {
-					prof.Sample(cn.level[i], cs.miss.MissesPerInstr[i])
+					em.sample(cn.level[i], cs.miss.MissesPerInstr[i])
 				}
 			}
 			for i := range nm.level {
-				prof.Sample(nm.level[i], cs.miss.MissesPerInstr[i])
+				em.sample(nm.level[i], cs.miss.MissesPerInstr[i])
 			}
 			// DVFS residency: fraction of this tick at the top operating
 			// point (1 when pinned at max frequency).
@@ -640,7 +770,7 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 			if cs.freqHz >= cs.cl.MaxFreqHz-1 {
 				top = 1
 			}
-			prof.Sample(nm.topOPPFrac, top)
+			em.sample(nm.topOPPFrac, top)
 		}
 
 		totInstr += tickInstr
@@ -695,63 +825,63 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 		}
 
 		cpuLoad := cpuLoadSum / float64(e.plat.TotalCores())
-		prof.Sample(profiler.MetricCPULoad, cpuLoad)
-		prof.Sample(profiler.MetricGPULoad, gpuRes.Load)
-		prof.Sample(profiler.MetricShadersBusy, gpuRes.ShadersBusy)
-		prof.Sample(profiler.MetricGPUBusBusy, gpuRes.BusBusy)
-		prof.Sample(profiler.MetricAIELoad, aieRes.Load)
-		prof.Sample(profiler.MetricUsedMem, memRes.UsedFrac)
-		prof.Sample(profiler.MetricWorkloadMem, memRes.WorkloadFrac)
-		prof.Sample(profiler.MetricStorageUtil, ioRes.Util)
-		prof.Sample("mem.used_mb", memRes.UsedMB)
-		prof.Sample("mem.workload_mb", memRes.WorkloadMB)
-		prof.Sample("mem.gpu_mb", memRes.FootprintByUse.GPUMB)
-		prof.Sample("mem.heap_mb", memRes.FootprintByUse.CPUHeapMB)
-		prof.Sample("mem.media_mb", memRes.FootprintByUse.MediaMB)
-		prof.Sample("gpu.util", gpuRes.Util)
-		prof.Sample("gpu.freq_mhz", gpuRes.FreqHz/1e6)
-		prof.Sample("gpu.fps", gpuRes.FPS)
-		prof.Sample("gpu.tex_miss_ratio", gpuRes.TexMissRatio)
-		prof.Sample("gpu.bus_bytes", gpuRes.BytesMoved)
-		prof.Sample("aie.util", aieRes.Util)
-		prof.Sample("aie.freq_mhz", aieRes.FreqHz/1e6)
-		prof.Sample("aie.cpu_fallback", aieRes.CPUFallbackDemand)
-		prof.Sample("storage.bytes", ioRes.BytesMoved)
-		prof.Sample("storage.read_mbps", phase.IO.SeqReadMBs+phase.IO.RandReadIOPS*4096/1e6)
-		prof.Sample("storage.write_mbps", phase.IO.SeqWriteMBs+phase.IO.RandWriteIOPS*4096/1e6)
-		prof.Sample("storage.iops", phase.IO.RandReadIOPS+phase.IO.RandWriteIOPS)
-		prof.Sample("mem.free_mb", e.plat.Memory.TotalMB-memRes.UsedMB)
-		prof.Sample("gpu.frame_time_ms", frameTimeMS(gpuRes.FPS))
-		prof.Sample("gpu.drawcall_rate", gpuRes.FPS*phase.GPU.DrawCallsPerFrame)
-		prof.Sample("slc.accesses", float64(slc.Stats().Accesses))
-		prof.Sample("slc.misses", float64(slc.Stats().Misses))
-		prof.Sample("l3.accesses", float64(l3.Stats().Accesses))
-		prof.Sample("l3.misses", float64(l3.Stats().Misses))
-		prof.Sample("cpu.total_instr", totInstr)
-		prof.Sample("cpu.total_cycles", totCycles)
-		prof.Sample("power.total_w", pw.TotalW())
-		prof.Sample("power.cpu_w", pw.CPUW())
-		prof.Sample("power.little_w", pw.Cluster[soc.Little])
-		prof.Sample("power.mid_w", pw.Cluster[soc.Mid])
-		prof.Sample("power.big_w", pw.Cluster[soc.Big])
-		prof.Sample("power.gpu_w", pw.GPU)
-		prof.Sample("power.aie_w", pw.AIE)
-		prof.Sample("power.dram_w", pw.DRAM)
-		prof.Sample("power.storage_w", pw.Storage)
-		prof.Sample("energy.total_j", powerModel.EnergyJ())
-		prof.Sample("thermal.cpu_c", th.NodeC[thermal.NodeCPU])
-		prof.Sample("thermal.gpu_c", th.NodeC[thermal.NodeGPU])
-		prof.Sample("thermal.soc_c", th.NodeC[thermal.NodeSoC])
-		prof.Sample("thermal.skin_c", th.SkinC)
-		prof.Sample("thermal.cpu_throttled", boolToFloat(th.Throttled[thermal.NodeCPU]))
-		prof.Sample(profiler.MetricInstrRate, tickInstr/cfg.TickSec)
+		em.sample(profiler.MetricCPULoad, cpuLoad)
+		em.sample(profiler.MetricGPULoad, gpuRes.Load)
+		em.sample(profiler.MetricShadersBusy, gpuRes.ShadersBusy)
+		em.sample(profiler.MetricGPUBusBusy, gpuRes.BusBusy)
+		em.sample(profiler.MetricAIELoad, aieRes.Load)
+		em.sample(profiler.MetricUsedMem, memRes.UsedFrac)
+		em.sample(profiler.MetricWorkloadMem, memRes.WorkloadFrac)
+		em.sample(profiler.MetricStorageUtil, ioRes.Util)
+		em.sample("mem.used_mb", memRes.UsedMB)
+		em.sample("mem.workload_mb", memRes.WorkloadMB)
+		em.sample("mem.gpu_mb", memRes.FootprintByUse.GPUMB)
+		em.sample("mem.heap_mb", memRes.FootprintByUse.CPUHeapMB)
+		em.sample("mem.media_mb", memRes.FootprintByUse.MediaMB)
+		em.sample("gpu.util", gpuRes.Util)
+		em.sample("gpu.freq_mhz", gpuRes.FreqHz/1e6)
+		em.sample("gpu.fps", gpuRes.FPS)
+		em.sample("gpu.tex_miss_ratio", gpuRes.TexMissRatio)
+		em.sample("gpu.bus_bytes", gpuRes.BytesMoved)
+		em.sample("aie.util", aieRes.Util)
+		em.sample("aie.freq_mhz", aieRes.FreqHz/1e6)
+		em.sample("aie.cpu_fallback", aieRes.CPUFallbackDemand)
+		em.sample("storage.bytes", ioRes.BytesMoved)
+		em.sample("storage.read_mbps", phase.IO.SeqReadMBs+phase.IO.RandReadIOPS*4096/1e6)
+		em.sample("storage.write_mbps", phase.IO.SeqWriteMBs+phase.IO.RandWriteIOPS*4096/1e6)
+		em.sample("storage.iops", phase.IO.RandReadIOPS+phase.IO.RandWriteIOPS)
+		em.sample("mem.free_mb", e.plat.Memory.TotalMB-memRes.UsedMB)
+		em.sample("gpu.frame_time_ms", frameTimeMS(gpuRes.FPS))
+		em.sample("gpu.drawcall_rate", gpuRes.FPS*phase.GPU.DrawCallsPerFrame)
+		em.sample("slc.accesses", float64(slc.Stats().Accesses))
+		em.sample("slc.misses", float64(slc.Stats().Misses))
+		em.sample("l3.accesses", float64(l3.Stats().Accesses))
+		em.sample("l3.misses", float64(l3.Stats().Misses))
+		em.sample("cpu.total_instr", totInstr)
+		em.sample("cpu.total_cycles", totCycles)
+		em.sample("power.total_w", pw.TotalW())
+		em.sample("power.cpu_w", pw.CPUW())
+		em.sample("power.little_w", pw.Cluster[soc.Little])
+		em.sample("power.mid_w", pw.Cluster[soc.Mid])
+		em.sample("power.big_w", pw.Cluster[soc.Big])
+		em.sample("power.gpu_w", pw.GPU)
+		em.sample("power.aie_w", pw.AIE)
+		em.sample("power.dram_w", pw.DRAM)
+		em.sample("power.storage_w", pw.Storage)
+		em.sample("energy.total_j", powerModel.EnergyJ())
+		em.sample("thermal.cpu_c", th.NodeC[thermal.NodeCPU])
+		em.sample("thermal.gpu_c", th.NodeC[thermal.NodeGPU])
+		em.sample("thermal.soc_c", th.NodeC[thermal.NodeSoC])
+		em.sample("thermal.skin_c", th.SkinC)
+		em.sample("thermal.cpu_throttled", boolToFloat(th.Throttled[thermal.NodeCPU]))
+		em.sample(profiler.MetricInstrRate, tickInstr/cfg.TickSec)
 		if tickCycles > 0 {
-			prof.Sample(profiler.MetricIPC, tickInstr/tickCycles)
+			em.sample(profiler.MetricIPC, tickInstr/tickCycles)
 		} else {
-			prof.Sample(profiler.MetricIPC, 0)
+			em.sample(profiler.MetricIPC, 0)
 		}
-		prof.Sample(profiler.MetricCacheMPKI, safeDiv(totCacheMiss, totInstr)*1000)
-		prof.Sample(profiler.MetricBranchMPKI, safeDiv(totBranchMiss, totInstr)*1000)
+		em.sample(profiler.MetricCacheMPKI, safeDiv(totCacheMiss, totInstr)*1000)
+		em.sample(profiler.MetricBranchMPKI, safeDiv(totBranchMiss, totInstr)*1000)
 
 		agg.AvgCPULoad += cpuLoad
 		agg.AvgGPULoad += gpuRes.Load
@@ -762,6 +892,60 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 		agg.AvgUsedMemMB += memRes.UsedMB
 		if memRes.UsedMB > agg.PeakUsedMemMB {
 			agg.PeakUsedMemMB = memRes.UsedMB
+		}
+
+		// Phase fast-forwarding: capture this tick's inputs in the replay
+		// ring, fold the steady-state evidence, and — once the governor's
+		// limit cycle and the counter rates have proven stationary — execute
+		// the rest of the phase analytically and jump to its boundary.
+		// Cancellation is honoured around every jump, matching the tick
+		// loop's ctxCheckTicks responsiveness even when a jump covers
+		// thousands of ticks.
+		if ff != nil {
+			ffRing[ff.idx()%ffMaxPeriod] = ffTickIn{
+				cpuLoad:     cpuLoad,
+				gpuLoad:     gpuRes.Load,
+				shadersBusy: gpuRes.ShadersBusy,
+				gpuBusBusy:  gpuRes.BusBusy,
+				aieLoad:     aieRes.Load,
+				clusterLoad: tickClusterLoad,
+				cycles:      tickCycles,
+				footprint:   footprint,
+				powerIn:     powerIn,
+				heat:        heat,
+			}
+			var snap ffFreqState
+			for _, cs := range clusters {
+				snap.cpu[cs.kind] = cs.freqHz
+			}
+			snap.gpu, snap.aie = gpuRes.FreqHz, aieRes.FreqHz
+			p := ff.observe(tick, phaseIdx, snap,
+				tickInstr, tickCycles,
+				totCacheMiss-ffPrevCacheMiss, totBranchMiss-ffPrevBranchMiss)
+			if p > 0 {
+				if k := spanLength(jw, cfg.TickSec, tick, ticks, phaseIdx, cfg.RefreshTicks, abortTick, hangTick, panicTick); k > 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+					draws := 0
+					for _, ts := range phase.CPU.Tasks {
+						draws += ts.Count
+					}
+					sp := ffSpan{
+						k: k, p: p, last: ff.idx() - 1, dt: cfg.TickSec,
+						jitterDraws: draws,
+						ring:        &ffRing,
+						totalMemMB:  e.plat.Memory.TotalMB,
+					}
+					sp.ipc, sp.cachePI, sp.branchPI = ff.rates()
+					runSpan(&sp, rng, powerModel, thermalModel, memModel,
+						&em, &agg, &totInstr, &totCycles, &totCacheMiss, &totBranchMiss)
+					tick += k
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+			}
 		}
 	}
 
@@ -784,9 +968,16 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 		agg.ClusterLoad[k] /= n
 	}
 
-	tr, err := prof.Trace()
-	if err != nil {
-		return nil, err
+	var tr *profiler.Trace
+	if prof != nil {
+		var err error
+		tr, err = prof.Trace()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if sum != nil {
+		sum.Ticks = ticks
 	}
 
 	// Chaos hook: corrupt the finished measurement the way a flaky
@@ -798,9 +989,11 @@ func (e *Engine) RunContext(ctx context.Context, w workload.Workload, run int) (
 		if f := plan.SkewFactor; f != 0 && f != 1 {
 			agg = skewAgg(agg, f)
 		}
-		plan.Corrupt(tr)
+		if tr != nil {
+			plan.Corrupt(tr)
+		}
 	}
-	return &Result{Workload: w.Name, Trace: tr, Agg: agg}, nil
+	return &Result{Workload: w.Name, Trace: tr, Summary: sum, Agg: agg}, nil
 }
 
 // skewAgg scales the intensity aggregates of a run by f, leaving the
@@ -855,23 +1048,65 @@ func (e *Engine) RunAveraged(w workload.Workload, runs int) (*Result, error) {
 	return e.RunAveragedContext(context.Background(), w, runs, 1)
 }
 
+// RunBatchContext executes runs r0..r1-1 of the workload sequentially on a
+// single model-pool acquisition, resetting the models between runs. The
+// per-run pool traffic (mutex, reset bookkeeping, GPU re-seed scaffolding)
+// amortizes across the batch; results are bit-identical to r1-r0 separate
+// RunContext calls because a reset model set is state-identical to a fresh
+// one and every run derives its own RNG stream.
+func (e *Engine) RunBatchContext(ctx context.Context, w workload.Workload, r0, r1 int) ([]*Result, error) {
+	if r1 <= r0 {
+		return nil, nil
+	}
+	models, err := e.acquireModels()
+	if err != nil {
+		return nil, err
+	}
+	defer e.releaseModels(models)
+	out := make([]*Result, 0, r1-r0)
+	for r := r0; r < r1; r++ {
+		if r > r0 {
+			if err := models.reset(e.cfg); err != nil {
+				return nil, err
+			}
+		}
+		res, err := e.runWith(ctx, w, r, models)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
 // RunAveragedContext is RunAveraged with cancellation and a worker pool:
 // the runs repetitions fan out over up to workers goroutines (workers <= 0
-// selects all CPUs; 1 keeps the sequential path). Because every run owns an
-// independent random stream, the merged result is bit-identical for any
-// worker count: runs are averaged in run order regardless of completion
-// order.
+// selects all CPUs; 1 keeps the sequential path), batched so each worker
+// amortizes one model-pool acquisition over its contiguous chunk of runs.
+// Because every run owns an independent random stream, the merged result is
+// bit-identical for any worker count: runs are averaged in run order
+// regardless of completion order.
 func (e *Engine) RunAveragedContext(ctx context.Context, w workload.Workload, runs, workers int) (*Result, error) {
 	if runs < 1 {
 		runs = 1
 	}
+	nw := workers
+	if nw <= 0 {
+		nw = runtime.NumCPU()
+	}
+	chunks := nw
+	if chunks > runs {
+		chunks = runs
+	}
 	results := make([]*Result, runs)
-	err := par.ForEach(ctx, workers, runs, func(ctx context.Context, r int) error {
-		res, err := e.RunContext(ctx, w, r)
+	err := par.ForEach(ctx, workers, chunks, func(ctx context.Context, c int) error {
+		r0 := c * runs / chunks
+		r1 := (c + 1) * runs / chunks
+		batch, err := e.RunBatchContext(ctx, w, r0, r1)
 		if err != nil {
 			return err
 		}
-		results[r] = res
+		copy(results[r0:r1], batch)
 		return nil
 	})
 	if err != nil {
@@ -881,23 +1116,47 @@ func (e *Engine) RunAveragedContext(ctx context.Context, w workload.Workload, ru
 }
 
 // AverageResults merges per-run results (ordered by run index) into the
-// run-averaged result: traces are averaged sample-wise, aggregates are
-// folded in run order. The fold order is fixed so that parallel collection
-// paths reproduce the sequential result exactly.
+// run-averaged result: traces are averaged sample-wise (when the runs
+// carry traces), summaries are pooled in run order (when they carry
+// summaries), and aggregates are folded in run order. The fold order is
+// fixed so that parallel collection paths reproduce the sequential result
+// exactly.
 func AverageResults(name string, results []*Result) (*Result, error) {
 	if len(results) == 0 {
 		return nil, fmt.Errorf("sim: no results to average for %s", name)
 	}
-	traces := make([]*profiler.Trace, len(results))
 	for i, r := range results {
 		if r == nil {
 			return nil, fmt.Errorf("sim: missing run %d result for %s", i, name)
 		}
-		traces[i] = r.Trace
+		if (r.Trace == nil) != (results[0].Trace == nil) ||
+			(r.Summary == nil) != (results[0].Summary == nil) {
+			return nil, fmt.Errorf("sim: run %d of %s mixes trace modes", i, name)
+		}
 	}
-	mean, err := profiler.MeanTraces(traces)
-	if err != nil {
-		return nil, err
+	var mean *profiler.Trace
+	if results[0].Trace != nil {
+		traces := make([]*profiler.Trace, len(results))
+		for i, r := range results {
+			traces[i] = r.Trace
+		}
+		var err error
+		mean, err = profiler.MeanTraces(traces)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var merged *profiler.Summary
+	if results[0].Summary != nil {
+		sums := make([]*profiler.Summary, len(results))
+		for i, r := range results {
+			sums[i] = r.Summary
+		}
+		var err error
+		merged, err = profiler.MergeSummaries(sums)
+		if err != nil {
+			return nil, err
+		}
 	}
 	agg := results[0].Agg
 	for _, r := range results[1:] {
@@ -905,7 +1164,7 @@ func AverageResults(name string, results []*Result) (*Result, error) {
 	}
 	agg = scaleAgg(agg, 1/float64(len(results)))
 	agg.Name = name
-	return &Result{Workload: name, Trace: mean, Agg: agg}, nil
+	return &Result{Workload: name, Trace: mean, Summary: merged, Agg: agg}, nil
 }
 
 func addAgg(a, b Aggregates) Aggregates {

@@ -38,6 +38,30 @@ func NewSeriesCap(name string, dt float64, capHint int) *Series {
 // Append adds a sample.
 func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
 
+// AppendRepeat adds k copies of v — the bulk-fill the simulator's phase
+// fast-forwarding uses for metrics frozen across a skipped span.
+func (s *Series) AppendRepeat(v float64, k int) {
+	for i := 0; i < k; i++ {
+		s.Values = append(s.Values, v)
+	}
+}
+
+// AppendCycle adds k samples cycling over vals in order — the bulk-fill for
+// metrics locked in a small periodic steady state (a DVFS governor limit
+// cycle) across a fast-forwarded span. Empty vals is a no-op.
+func (s *Series) AppendCycle(vals []float64, k int) {
+	if len(vals) == 0 {
+		return
+	}
+	if len(vals) == 1 {
+		s.AppendRepeat(vals[0], k)
+		return
+	}
+	for i := 0; i < k; i++ {
+		s.Values = append(s.Values, vals[i%len(vals)])
+	}
+}
+
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Values) }
 

@@ -1,0 +1,40 @@
+package xrand
+
+import "testing"
+
+// TestSkipNormMatchesDraws pins the property phase fast-forwarding depends
+// on: after SkipNorm(n) the generator is in the bit-identical state it would
+// reach after n NormFloat64 calls, for many n (the polar method's rejection
+// loop makes the uniform consumption per deviate variable).
+func TestSkipNormMatchesDraws(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		drawn := New(888)
+		skipped := New(888)
+		for i := 0; i < n; i++ {
+			drawn.NormFloat64()
+		}
+		skipped.SkipNorm(n)
+		for i := 0; i < 16; i++ {
+			if a, b := drawn.Uint64(), skipped.Uint64(); a != b {
+				t.Fatalf("n=%d: stream diverged at output %d: %x vs %x", n, i, a, b)
+			}
+		}
+	}
+}
+
+// TestSkipNormJitterEquivalence checks the composed form the engine uses:
+// skipping k ticks' worth of Jitter calls leaves later Jitter values exact.
+func TestSkipNormJitterEquivalence(t *testing.T) {
+	const tasks, ticks = 5, 37
+	full := New(12345)
+	jumped := New(12345)
+	for i := 0; i < ticks*tasks; i++ {
+		full.Jitter(1.0, 0.03)
+	}
+	jumped.SkipNorm(ticks * tasks)
+	for i := 0; i < 8; i++ {
+		if a, b := full.Jitter(2.5, 0.01), jumped.Jitter(2.5, 0.01); a != b {
+			t.Fatalf("Jitter diverged after skip: %g vs %g", a, b)
+		}
+	}
+}

@@ -112,6 +112,27 @@ func (r *Rand) NormFloat64() float64 {
 	}
 }
 
+// SkipNorm advances the stream past n NormFloat64 draws without computing
+// the normal deviates. The Marsaglia polar method consumes a variable number
+// of uniforms per deviate (its rejection loop), so skipping must replay the
+// accept/reject decisions exactly; only the Sqrt/Log finishing math is
+// elided. After SkipNorm(n) the generator state is bit-identical to the
+// state after n NormFloat64 calls — the property the simulator's phase
+// fast-forwarding relies on to keep later phases on the exact noise stream.
+func (r *Rand) SkipNorm(n int) {
+	for i := 0; i < n; i++ {
+		for {
+			u := 2*r.Float64() - 1
+			v := 2*r.Float64() - 1
+			s := u*u + v*v
+			if s >= 1 || s == 0 {
+				continue
+			}
+			break
+		}
+	}
+}
+
 // Jitter returns base scaled by a factor drawn from N(1, rel) and clamped to
 // stay positive; it models run-to-run measurement noise.
 func (r *Rand) Jitter(base, rel float64) float64 {
@@ -124,24 +145,62 @@ func (r *Rand) Jitter(base, rel float64) float64 {
 
 // Zipf returns a value in [0, n) following an approximate Zipf distribution
 // with exponent s > 0. Small ranks are most likely; it is used to model
-// skewed working-set reuse.
+// skewed working-set reuse. Hot paths drawing many values for the same
+// (n, s) should hold a ZipfGen instead, which produces the identical value
+// sequence without recomputing the rank-independent constants per draw.
 func (r *Rand) Zipf(n int, s float64) int {
+	z := NewZipfGen(n, s)
+	return z.Draw(r)
+}
+
+// ZipfGen memoizes the rank-independent constants of the bounded-Pareto
+// inverse-CDF Zipf approximation for a fixed (n, s). Draw consumes exactly
+// the same generator state and computes the same float expressions as
+// Rand.Zipf, so replacing Zipf calls with a ZipfGen is bit-identical — it
+// only eliminates one of the two math.Pow evaluations per draw, which
+// dominates the simulator's cache-stream sampling cost.
+type ZipfGen struct {
+	n     int
+	s     float64
+	logN1 float64 // log(n+1), for the s == 1 branch
+	c1    float64 // pow(n+1, 1-s) - 1
+	inv   float64 // 1 / (1-s)
+}
+
+// NewZipfGen precomputes the draw constants for (n, s).
+func NewZipfGen(n int, s float64) ZipfGen {
+	z := ZipfGen{n: n, s: s}
 	if n <= 1 {
+		return z
+	}
+	if s == 1 {
+		z.logN1 = math.Log(float64(n) + 1)
+		return z
+	}
+	one := 1 - s
+	z.c1 = math.Pow(float64(n)+1, one) - 1
+	z.inv = 1 / one
+	return z
+}
+
+// Draw returns the next Zipf-distributed rank in [0, n), consuming r
+// exactly as Rand.Zipf(n, s) would.
+func (z *ZipfGen) Draw(r *Rand) int {
+	if z.n <= 1 {
 		return 0
 	}
 	// Inverse-CDF approximation via the continuous bounded Pareto.
 	u := r.Float64()
-	if s == 1 {
-		return int(math.Expm1(u*math.Log(float64(n)+1))) % n
+	if z.s == 1 {
+		return int(math.Expm1(u*z.logN1)) % z.n
 	}
-	one := 1 - s
-	x := math.Pow(u*(math.Pow(float64(n)+1, one)-1)+1, 1/one) - 1
+	x := math.Pow(u*z.c1+1, z.inv) - 1
 	k := int(x)
 	if k < 0 {
 		k = 0
 	}
-	if k >= n {
-		k = n - 1
+	if k >= z.n {
+		k = z.n - 1
 	}
 	return k
 }

@@ -84,6 +84,12 @@ type (
 	Aggregates = sim.Aggregates
 	// Trace is the averaged counter time-series collection of a run.
 	Trace = profiler.Trace
+	// Summary is the streaming per-metric statistics of a run (means,
+	// moments and quantile sketches), collected without a trace.
+	Summary = profiler.Summary
+	// TraceMode selects how much of the per-tick counter stream a
+	// characterization keeps.
+	TraceMode = sim.TraceMode
 	// Clustering is one algorithm's benchmark grouping.
 	Clustering = core.Clustering
 	// Observation is one evaluated finding from the paper's Section V.
@@ -131,6 +137,23 @@ const (
 	APIVulkan  = gpu.Vulkan
 	APICompute = gpu.Compute
 )
+
+// Trace materialization modes for Options.TraceMode.
+const (
+	// TraceFull keeps every counter's complete per-tick series (the
+	// historical default; required for checkpointed characterizations).
+	TraceFull = sim.TraceFull
+	// TraceStreamed keeps only streaming summary statistics per metric;
+	// trace-consuming analyses return core.ErrNoTrace.
+	TraceStreamed = sim.TraceStreamed
+	// TraceAuto keeps full series for the analysis metric set and
+	// summaries for everything else — every bundled figure still works.
+	TraceAuto = sim.TraceAuto
+)
+
+// ErrNoTrace is returned by trace-consuming analyses (temporal profiles,
+// observation checks) when the dataset was characterized with TraceStreamed.
+var ErrNoTrace = core.ErrNoTrace
 
 // AI-engine operation classes for AIEDemand definitions.
 const (
@@ -195,6 +218,20 @@ type Options struct {
 	// clean retry, the result is bit-identical to a fault-free run.
 	Inject *FaultInjector
 
+	// FastForward trades exactness for speed: phases that reach steady
+	// state are completed analytically instead of tick by tick, cutting
+	// a full characterization by roughly 4x. Aggregates drift within the
+	// tolerances pinned by the simulator's differential suite (loads,
+	// power and memory essentially exact; sampled counter rates within
+	// ~15-25%). Off (the default) keeps the exact, byte-identical path.
+	FastForward bool
+	// TraceMode selects what each run materializes: TraceFull (default)
+	// the complete per-tick counter traces, TraceStreamed only streaming
+	// summary statistics (temporal figures and observation checks then
+	// return core.ErrNoTrace), TraceAuto traces for the analysis metric
+	// set plus summaries for the rest.
+	TraceMode TraceMode
+
 	// Checkpoint, when non-empty, names a snapshot file persisting every
 	// completed (benchmark, run) atomically, so a killed characterization
 	// loses at most the pair it was simulating.
@@ -225,10 +262,12 @@ func Characterize(opts Options) (*Characterization, error) {
 func CharacterizeContext(ctx context.Context, opts Options) (*Characterization, error) {
 	ds, err := core.CollectContext(ctx, core.Options{
 		Sim: sim.Config{
-			Platform: opts.Platform,
-			Seed:     opts.Seed,
-			TickSec:  opts.TickSec,
-			Fault:    opts.Inject,
+			Platform:    opts.Platform,
+			Seed:        opts.Seed,
+			TickSec:     opts.TickSec,
+			Fault:       opts.Inject,
+			FastForward: opts.FastForward,
+			TraceMode:   opts.TraceMode,
 		},
 		Runs:    opts.Runs,
 		Units:   opts.Units,
