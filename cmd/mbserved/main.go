@@ -1,14 +1,24 @@
 // Command mbserved serves the characterization pipeline over HTTP:
 // characterize/cluster/subset jobs run through a bounded queue with load
-// shedding (429 + Retry-After), per-job deadlines and crash-safe state.
-// Collections checkpoint every completed (benchmark, run), so a drained or
-// killed server resumes its unfinished jobs on the next start instead of
-// redoing them.
+// shedding (429 + adaptive Retry-After), per-job deadlines and crash-safe
+// state. Collections checkpoint every completed (benchmark, run), so a
+// drained or killed server resumes its unfinished jobs on the next start
+// instead of redoing them.
 //
-// Usage:
+// Single process:
 //
 //	mbserved -state DIR [-addr :8089] [-queue N] [-concurrent N]
-//	         [-job-timeout D] [-drain-grace D] [-pprof ADDR]
+//	         [-cache-dir DIR] [-job-timeout D] [-drain-grace D] [-pprof ADDR]
+//
+// Fleet: one coordinator shards jobs across N worker processes over a
+// versioned JSON-lines protocol. Workers heartbeat their leases; a worker
+// that dies (kill -9 included) loses its lease and the job is
+// re-dispatched, resuming bit-identically from its checkpoint. The fleet
+// shares one filesystem for -state (and -cache-dir): one box, or a shared
+// volume.
+//
+//	mbserved -coordinator :9090 -state DIR -cache-dir DIR -concurrent 4
+//	mbserved -worker HOST:9090 [-worker-id ID] [-capacity N] [-heartbeat D]
 //
 // Submit and inspect jobs:
 //
@@ -22,9 +32,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
@@ -32,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"mobilebench/internal/dist"
 	"mobilebench/internal/server"
 )
 
@@ -42,8 +55,19 @@ func main() {
 	concurrent := flag.Int("concurrent", 1, "jobs running at once")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job deadline unless the job sets its own (0 = none)")
 	drainGrace := flag.Duration("drain-grace", 2*time.Second, "how long a drain lets in-flight jobs finish before interrupting them")
+	cacheDir := flag.String("cache-dir", "", "content-addressed result cache directory; repeat submissions answer from it without executing (off when empty)")
+	coordinator := flag.String("coordinator", "", "run as fleet coordinator: listen for workers on this address and dispatch jobs to them")
+	workerAddr := flag.String("worker", "", "run as fleet worker: connect to the coordinator at this address (no HTTP API)")
+	workerID := flag.String("worker-id", "", "worker identity, unique per fleet (default worker-<pid>)")
+	capacity := flag.Int("capacity", 1, "jobs this worker runs concurrently (worker mode)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "per-lease heartbeat period (worker mode)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "heartbeat silence after which a lease is revoked and its job re-dispatched (coordinator mode)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (off when empty)")
 	flag.Parse()
+
+	if *coordinator != "" && *workerAddr != "" {
+		fatal(errors.New("-coordinator and -worker are mutually exclusive"))
+	}
 
 	if *pprofAddr != "" {
 		// A separate listener keeps the debug surface off the job API's
@@ -56,13 +80,43 @@ func main() {
 		}()
 	}
 
-	srv, err := server.New(server.Config{
+	if *workerAddr != "" {
+		runWorker(*workerAddr, *workerID, *capacity, *heartbeat)
+		return
+	}
+
+	cfg := server.Config{
 		StateDir:      *state,
 		QueueDepth:    *queue,
 		MaxConcurrent: *concurrent,
 		JobTimeout:    *jobTimeout,
 		DrainGrace:    *drainGrace,
-	})
+		CacheDir:      *cacheDir,
+	}
+
+	var coord *dist.Coordinator
+	if *coordinator != "" {
+		coord = dist.NewCoordinator(dist.CoordinatorConfig{LeaseTTL: *leaseTTL})
+		ln, err := net.Listen("tcp", *coordinator)
+		if err != nil {
+			fatal(err)
+		}
+		go coord.Serve(ln)
+		fmt.Fprintf(os.Stderr, "mbserved: coordinating workers on %s\n", ln.Addr())
+		cfg.Execute = func(ctx context.Context, id string, spec server.Spec, checkpointPath string) (json.RawMessage, error) {
+			raw, err := json.Marshal(spec)
+			if err != nil {
+				return nil, err
+			}
+			return coord.Execute(ctx, id, raw, checkpointPath)
+		}
+		cfg.Ready = func() bool {
+			workers, _, _ := coord.Stats()
+			return workers > 0
+		}
+	}
+
+	srv, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,16 +136,49 @@ func main() {
 	}
 
 	// Drain jobs first — /healthz and job reads keep answering meanwhile —
-	// then close the listener.
+	// then close the listener and the fleet.
 	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace+30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fatal(err)
 	}
+	if coord != nil {
+		coord.Close()
+	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "mbserved: drained cleanly")
+}
+
+// runWorker is the worker-mode main loop: execute dispatched specs
+// through the same checkpointed path the single-process server uses,
+// until the coordinator rejects us or a signal lands.
+func runWorker(addr, id string, capacity int, heartbeat time.Duration) {
+	if id == "" {
+		id = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	w, err := dist.NewWorker(dist.WorkerConfig{ID: id, Capacity: capacity, Heartbeat: heartbeat},
+		func(ctx context.Context, jobID string, raw json.RawMessage, checkpointPath string) (json.RawMessage, error) {
+			var sp server.Spec
+			if err := json.Unmarshal(raw, &sp); err != nil {
+				return nil, fmt.Errorf("mbserved: undecodable spec for %s: %w", jobID, err)
+			}
+			if err := sp.Validate(); err != nil {
+				return nil, err
+			}
+			return server.ExecuteSpec(ctx, sp, checkpointPath)
+		})
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer cancel()
+	fmt.Fprintf(os.Stderr, "mbserved: worker %s serving coordinator %s\n", id, addr)
+	if err := w.Run(ctx, addr); err != nil && !errors.Is(err, context.Canceled) {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mbserved: worker %s stopped\n", id)
 }
 
 func fatal(err error) {

@@ -1,0 +1,140 @@
+// Content-addressed result cache and request coalescing: the dedup half
+// of the distribution layer. Characterization requests are highly
+// repetitive across configurations, so identical requests — the common
+// case under heavy traffic — are answered from the cache in microseconds
+// instead of re-simulated, and identical requests in flight at the same
+// moment share one execution.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mobilebench/internal/checkpoint"
+)
+
+// Cache is a content-addressed result store: one file per key under a
+// directory, written atomically (temp + fsync + rename) so a killed
+// process never leaves a torn entry, and a restarted fleet keeps every
+// result it already paid for. Keys address the request content — the
+// options fingerprint the checkpoint layer computes plus the analysis
+// kind — so equal requests map to equal entries by construction.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) the cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("dist: cache directory must be non-empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dist: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// path maps a key to its entry file, refusing keys that could escape the
+// cache directory. Keys are fingerprint hex in practice; anything else is
+// a caller bug surfaced loudly.
+func (c *Cache) path(key string) (string, error) {
+	if key == "" {
+		return "", fmt.Errorf("dist: empty cache key")
+	}
+	for _, r := range key {
+		switch {
+		case r >= '0' && r <= '9', r >= 'a' && r <= 'f':
+		default:
+			return "", fmt.Errorf("dist: cache key %q is not lower-case hex", key)
+		}
+	}
+	return filepath.Join(c.dir, key+".json"), nil
+}
+
+// Get returns the cached result bytes for key, if present and intact. A
+// missing or invalid entry is a miss, never an error: the caller falls
+// back to executing.
+func (c *Cache) Get(key string) (json.RawMessage, bool) {
+	p, err := c.path(key)
+	if err != nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(p)
+	if err != nil || !json.Valid(data) {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put stores the result bytes under key, atomically.
+func (c *Cache) Put(key string, result json.RawMessage) error {
+	p, err := c.path(key)
+	if err != nil {
+		return err
+	}
+	if !json.Valid(result) {
+		return fmt.Errorf("dist: refusing to cache invalid JSON under %q", key)
+	}
+	return checkpoint.WriteFile(p, result, 0o644)
+}
+
+// Coalescer deduplicates executions in flight: the first caller for a key
+// becomes the leader and runs fn; every concurrent caller for the same
+// key waits and observes the leader's exact outcome — the same bytes, or
+// the same error. Entries are removed once the leader finishes, so a
+// later identical request (after the result has been cached) starts
+// fresh.
+type Coalescer struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+type call struct {
+	done   chan struct{}
+	result json.RawMessage
+	err    error
+}
+
+// NewCoalescer returns an empty coalescer.
+func NewCoalescer() *Coalescer {
+	return &Coalescer{calls: make(map[string]*call)}
+}
+
+// Do executes fn under key, coalescing concurrent calls. The returned
+// shared flag is false for the leader (the call that actually executed)
+// and true for followers that adopted the leader's outcome. A follower
+// whose ctx expires stops waiting with ctx's error; the leader keeps
+// running for the remaining observers.
+func (f *Coalescer) Do(ctx context.Context, key string, fn func() (json.RawMessage, error)) (result json.RawMessage, err error, shared bool) {
+	f.mu.Lock()
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.result, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.result, c.err = fn()
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.result, c.err, false
+}
+
+// Inflight reports how many distinct keys are currently executing.
+func (f *Coalescer) Inflight() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}

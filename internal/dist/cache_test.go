@@ -1,0 +1,172 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCachePutGet(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "00deadbeef00cafe"
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := json.RawMessage(`{"units":[{"name":"WildLife"}]}`)
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %v; want %q", got, ok, want)
+	}
+	// A second cache over the same directory sees the entry: results
+	// survive restarts.
+	c2, err := OpenCache(c.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c2.Get(key); !ok || !bytes.Equal(got, want) {
+		t.Fatal("entry not visible to a reopened cache")
+	}
+}
+
+func TestCacheRejectsHostileKeys(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "../../etc/passwd", "ABCDEF", "a/b", "a.b", "café"} {
+		if err := c.Put(key, json.RawMessage(`{}`)); err == nil {
+			t.Errorf("Put accepted hostile key %q", key)
+		}
+		if _, ok := c.Get(key); ok {
+			t.Errorf("Get hit on hostile key %q", key)
+		}
+	}
+	if err := c.Put("00ff", json.RawMessage(`{"bad`)); err == nil {
+		t.Error("Put accepted invalid JSON")
+	}
+}
+
+func TestCoalescerSharesOneExecution(t *testing.T) {
+	f := NewCoalescer()
+	var mu sync.Mutex
+	execs := 0
+	release := make(chan struct{})
+	fn := func() (json.RawMessage, error) {
+		mu.Lock()
+		execs++
+		mu.Unlock()
+		<-release
+		return json.RawMessage(`{"n":1}`), nil
+	}
+
+	const observers = 8
+	var wg sync.WaitGroup
+	results := make([]json.RawMessage, observers)
+	shared := make([]bool, observers)
+	for i := 0; i < observers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, shared[i] = f.Do(context.Background(), "k", fn)
+		}(i)
+	}
+	// Let every observer reach the coalescer before releasing the leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Inflight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if execs != 1 {
+		// More than one exec means some observers arrived after the
+		// leader finished — possible scheduling, but with the release
+		// gate every waiter either coalesced or led. Anything >1 here
+		// means a waiter missed an in-flight call.
+		leaders := 0
+		for _, s := range shared {
+			if !s {
+				leaders++
+			}
+		}
+		if leaders != execs {
+			t.Fatalf("execs = %d but leaders = %d", execs, leaders)
+		}
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, results[0]) {
+			t.Fatalf("observer %d got %q, observer 0 got %q", i, r, results[0])
+		}
+	}
+}
+
+func TestCoalescerSharesErrors(t *testing.T) {
+	f := NewCoalescer()
+	wantErr := fmt.Errorf("synthetic failure")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderErr error
+	go func() {
+		defer wg.Done()
+		_, leaderErr, _ = f.Do(context.Background(), "k", func() (json.RawMessage, error) {
+			close(started)
+			<-release
+			return nil, wantErr
+		})
+	}()
+	<-started
+	wg.Add(1)
+	var followerErr error
+	var followerShared bool
+	go func() {
+		defer wg.Done()
+		_, followerErr, followerShared = f.Do(context.Background(), "k", func() (json.RawMessage, error) {
+			t.Error("follower executed")
+			return nil, nil
+		})
+	}()
+	// The follower must be waiting before the leader finishes.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if leaderErr != wantErr || followerErr != wantErr {
+		t.Fatalf("leader err %v, follower err %v, want both %v", leaderErr, followerErr, wantErr)
+	}
+	if !followerShared {
+		t.Fatal("follower did not report shared")
+	}
+}
+
+func TestCoalescerFollowerContext(t *testing.T) {
+	f := NewCoalescer()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go f.Do(context.Background(), "k", func() (json.RawMessage, error) {
+		close(started)
+		<-release
+		return json.RawMessage(`{}`), nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, shared := f.Do(ctx, "k", func() (json.RawMessage, error) { return nil, nil })
+	if err != context.Canceled || !shared {
+		t.Fatalf("cancelled follower: err=%v shared=%v, want context.Canceled, true", err, shared)
+	}
+}

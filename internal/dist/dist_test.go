@@ -1,0 +1,388 @@
+// Fleet integration tests: real TCP connections between an in-process
+// coordinator and in-process workers, including the chaos path — a worker
+// killed mid-job loses its lease, the job re-dispatches, and the resumed
+// result is byte-identical to an undisturbed execution.
+package dist_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"mobilebench/internal/checkpoint"
+	"mobilebench/internal/dist"
+	"mobilebench/internal/server"
+	"mobilebench/internal/workload"
+)
+
+// startCoordinator builds a coordinator serving on a loopback listener.
+func startCoordinator(t *testing.T, cfg dist.CoordinatorConfig) (*dist.Coordinator, string) {
+	t.Helper()
+	c := dist.NewCoordinator(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go c.Serve(ln)
+	t.Cleanup(c.Close)
+	return c, ln.Addr().String()
+}
+
+// startWorker runs a worker against addr until the test ends.
+func startWorker(t *testing.T, cfg dist.WorkerConfig, exec dist.ExecFunc, addr string) *dist.Worker {
+	t.Helper()
+	w, err := dist.NewWorker(cfg, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go func() { _ = w.Run(ctx, addr) }()
+	return w
+}
+
+// waitWorkers blocks until the fleet reports n connected workers.
+func waitWorkers(t *testing.T, c *dist.Coordinator, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if w, _, _ := c.Stats(); w >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			w, _, _ := c.Stats()
+			t.Fatalf("fleet stuck at %d workers, want %d", w, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestExecuteRoundtrip(t *testing.T) {
+	c, addr := startCoordinator(t, dist.CoordinatorConfig{})
+	echo := func(_ context.Context, jobID string, spec json.RawMessage, ckpt string) (json.RawMessage, error) {
+		return json.RawMessage(fmt.Sprintf(`{"job":%q,"spec":%s,"ckpt":%q}`, jobID, spec, ckpt)), nil
+	}
+	startWorker(t, dist.WorkerConfig{ID: "w1"}, echo, addr)
+	waitWorkers(t, c, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	got, err := c.Execute(ctx, "job-000007", json.RawMessage(`{"kind":"subset"}`), "/state/job-000007.ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"job":"job-000007","spec":{"kind":"subset"},"ckpt":"/state/job-000007.ckpt"}`
+	if string(got) != want {
+		t.Fatalf("Execute = %s, want %s", got, want)
+	}
+}
+
+func TestExecuteShardsAcrossWorkers(t *testing.T) {
+	c, addr := startCoordinator(t, dist.CoordinatorConfig{})
+	var mu sync.Mutex
+	ran := map[string][]string{} // worker → jobs
+	gate := make(chan struct{})
+	exec := func(id string) dist.ExecFunc {
+		return func(_ context.Context, jobID string, _ json.RawMessage, _ string) (json.RawMessage, error) {
+			mu.Lock()
+			ran[id] = append(ran[id], jobID)
+			mu.Unlock()
+			<-gate // hold the slot so jobs must spread
+			return json.RawMessage(`{}`), nil
+		}
+	}
+	startWorker(t, dist.WorkerConfig{ID: "w1"}, exec("w1"), addr)
+	startWorker(t, dist.WorkerConfig{ID: "w2"}, exec("w2"), addr)
+	waitWorkers(t, c, 2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Execute(ctx, fmt.Sprintf("job-%06d", i), json.RawMessage(`{}`), ""); err != nil {
+				t.Errorf("Execute %d: %v", i, err)
+			}
+		}(i)
+	}
+	// Both workers must end up busy before the gate opens.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		busy := len(ran)
+		mu.Unlock()
+		if busy == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs never spread: %v", ran)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if len(ran["w1"]) != 1 || len(ran["w2"]) != 1 {
+		t.Fatalf("placement = %v, want one job per worker", ran)
+	}
+}
+
+func TestSaturatedFleetBackpressure(t *testing.T) {
+	c, addr := startCoordinator(t, dist.CoordinatorConfig{DispatchBackoffBase: 10 * time.Millisecond})
+	gate := make(chan struct{})
+	exec := func(_ context.Context, _ string, _ json.RawMessage, _ string) (json.RawMessage, error) {
+		<-gate
+		return json.RawMessage(`{}`), nil
+	}
+	startWorker(t, dist.WorkerConfig{ID: "w1", Capacity: 1}, exec, addr)
+	waitWorkers(t, c, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := c.Execute(ctx, fmt.Sprintf("job-%06d", i), json.RawMessage(`{}`), "")
+			results <- err
+		}(i)
+	}
+	// With capacity 1, at most one lease may be active at once; the other
+	// Execute must wait in backoff, not over-dispatch.
+	time.Sleep(100 * time.Millisecond)
+	if _, _, active := c.Stats(); active > 1 {
+		t.Fatalf("active leases = %d, want <= 1 on a capacity-1 fleet", active)
+	}
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRemoteFailureIsNotRedispatched(t *testing.T) {
+	c, addr := startCoordinator(t, dist.CoordinatorConfig{})
+	var mu sync.Mutex
+	attempts := 0
+	exec := func(_ context.Context, _ string, _ json.RawMessage, _ string) (json.RawMessage, error) {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		return nil, fmt.Errorf("spec rejected: no such unit")
+	}
+	startWorker(t, dist.WorkerConfig{ID: "w1"}, exec, addr)
+	waitWorkers(t, c, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err := c.Execute(ctx, "job-000000", json.RawMessage(`{}`), "")
+	var remote *dist.RemoteError
+	if err == nil || !errors.As(err, &remote) {
+		t.Fatalf("err = %v, want a *dist.RemoteError", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 1 {
+		t.Fatalf("deterministic failure executed %d times, want 1", attempts)
+	}
+}
+
+func TestProtoVersionSkewRejected(t *testing.T) {
+	_, addr := startCoordinator(t, dist.CoordinatorConfig{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, `{"type":"hello","proto":99,"worker":"wX","capacity":1}`+"\n")
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := dist.ParseFrame(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type != dist.TypeReject {
+		t.Fatalf("version-skewed hello answered with %q, want reject", f.Type)
+	}
+}
+
+func TestDuplicateWorkerIDRejected(t *testing.T) {
+	c, addr := startCoordinator(t, dist.CoordinatorConfig{})
+	exec := func(_ context.Context, _ string, _ json.RawMessage, _ string) (json.RawMessage, error) {
+		return json.RawMessage(`{}`), nil
+	}
+	startWorker(t, dist.WorkerConfig{ID: "twin"}, exec, addr)
+	waitWorkers(t, c, 1)
+
+	w2, err := dist.NewWorker(dist.WorkerConfig{ID: "twin"}, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = w2.Run(ctx, addr)
+	var rej *dist.RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("duplicate id Run = %v, want *dist.RejectedError", err)
+	}
+}
+
+// shortSpec is the fastest real characterize spec: one unit, one run.
+func shortSpec(t *testing.T) server.Spec {
+	t.Helper()
+	units := workload.AnalysisUnits()
+	sort.Slice(units, func(i, j int) bool { return units[i].Duration() < units[j].Duration() })
+	return server.Spec{Kind: "characterize", Units: []string{units[0].Name, units[1].Name}, Runs: 1, Workers: 1}
+}
+
+// TestWorkerDeathRedispatchBitIdentical is the chaos acceptance test: a
+// worker dies (abrupt connection loss, no fail frame — the kill -9
+// surface) after durably checkpointing part of a fault-injected job; the
+// coordinator revokes its lease, re-dispatches to the surviving worker,
+// and the resumed result is byte-identical to an undisturbed execution of
+// the same spec.
+func TestWorkerDeathRedispatchBitIdentical(t *testing.T) {
+	stateDir := t.TempDir()
+	spec := shortSpec(t)
+	spec.Inject = "nan=0.3,seed=11" // fault injection on, self-healing exercised
+	rawSpec, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(stateDir, "job-chaos.ckpt")
+
+	c, addr := startCoordinator(t, dist.CoordinatorConfig{LeaseTTL: 2 * time.Second})
+	realExec := func(ctx context.Context, _ string, raw json.RawMessage, ckptPath string) (json.RawMessage, error) {
+		var sp server.Spec
+		if err := json.Unmarshal(raw, &sp); err != nil {
+			return nil, err
+		}
+		return server.ExecuteSpec(ctx, sp, ckptPath)
+	}
+	// w1 sorts first, so the deterministic placement sends the job there.
+	w1 := startWorker(t, dist.WorkerConfig{ID: "w1", Heartbeat: 100 * time.Millisecond}, realExec, addr)
+	startWorker(t, dist.WorkerConfig{ID: "w2", Heartbeat: 100 * time.Millisecond}, realExec, addr)
+	waitWorkers(t, c, 2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	var result json.RawMessage
+	var execErr error
+	go func() {
+		defer close(done)
+		result, execErr = c.Execute(ctx, "job-chaos", rawSpec, ckpt)
+	}()
+
+	// Kill w1 the moment the first (unit, run) is durably checkpointed:
+	// mid-job by construction, with real progress to resume from.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if snap, err := checkpoint.Load(ckpt, 0); err == nil && len(snap.Records) >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never checkpointed a pair")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	w1.Close() // kill -9: connection drops, no fail frame, exec cancelled
+
+	<-done
+	if execErr != nil {
+		t.Fatalf("re-dispatched execution failed: %v", execErr)
+	}
+
+	// Undisturbed baseline: same spec, fresh checkpoint, direct execution.
+	baseline, err := server.ExecuteSpec(context.Background(), spec, filepath.Join(stateDir, "baseline.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(result, baseline) {
+		t.Fatalf("re-dispatched result differs from undisturbed baseline:\n%s\nvs\n%s", result, baseline)
+	}
+
+	// The survivor is the only worker left.
+	if w, _, _ := c.Stats(); w != 1 {
+		t.Fatalf("fleet has %d workers after the kill, want 1", w)
+	}
+}
+
+// TestLeaseTTLRevocation covers the heartbeat half of death detection: a
+// worker that stops heartbeating without dropping TCP (SIGSTOP, wedged
+// box) loses the lease after the TTL and the job completes elsewhere.
+func TestLeaseTTLRevocation(t *testing.T) {
+	c, addr := startCoordinator(t, dist.CoordinatorConfig{LeaseTTL: 300 * time.Millisecond})
+	var mu sync.Mutex
+	runs := []string{}
+	hang := make(chan struct{})
+	// wSilent: long heartbeat period (beyond TTL) and a hanging exec —
+	// the lease must be revoked by the monitor, not by connection death.
+	silent := func(_ context.Context, _ string, _ json.RawMessage, _ string) (json.RawMessage, error) {
+		mu.Lock()
+		runs = append(runs, "silent")
+		mu.Unlock()
+		<-hang
+		return json.RawMessage(`{}`), nil
+	}
+	healthy := func(_ context.Context, _ string, _ json.RawMessage, _ string) (json.RawMessage, error) {
+		mu.Lock()
+		runs = append(runs, "healthy")
+		mu.Unlock()
+		return json.RawMessage(`{"ok":true}`), nil
+	}
+	startWorker(t, dist.WorkerConfig{ID: "a-silent", Heartbeat: time.Hour}, silent, addr)
+	waitWorkers(t, c, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	var result json.RawMessage
+	var execErr error
+	go func() {
+		defer close(done)
+		result, execErr = c.Execute(ctx, "job-000000", json.RawMessage(`{}`), "")
+	}()
+	// Let the silent worker take the lease, then bring up the healthy one
+	// to inherit the job after revocation.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(runs)
+		mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("silent worker never started the job")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	startWorker(t, dist.WorkerConfig{ID: "b-healthy", Heartbeat: 50 * time.Millisecond}, healthy, addr)
+
+	<-done
+	close(hang)
+	if execErr != nil {
+		t.Fatal(execErr)
+	}
+	if string(result) != `{"ok":true}` {
+		t.Fatalf("result = %s, want the healthy worker's", result)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if runs[0] != "silent" || runs[len(runs)-1] != "healthy" {
+		t.Fatalf("runs = %v, want silent first, healthy last", runs)
+	}
+}

@@ -1,0 +1,51 @@
+// Fuzzing of the wire-protocol decoder: the coordinator reads frames from
+// worker-controlled connections, so the decoder must never panic and must
+// either reject a line or accept one whose re-encoding parses back to the
+// same frame (rejects-or-roundtrips).
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func FuzzParseFrame(f *testing.F) {
+	for _, fr := range validFrames() {
+		data, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Malformed seeds steer the fuzzer at the rejection paths.
+	f.Add([]byte(""))
+	f.Add([]byte("{}\n"))
+	f.Add([]byte(`{"type":"hello"}` + "\n"))
+	f.Add([]byte(`{"type":"dispatch","lease":"L","job":"j","spec":"not-an-object"}` + "\n"))
+	f.Add([]byte(`{"type":"result","lease":"L","job":"j","result":{"a":[1,2,{"b":null}]}}` + "\n"))
+	f.Add([]byte(`[{"type":"welcome","proto":1}]` + "\n"))
+	f.Add([]byte(`{"type":"welcome","proto":1} trailing` + "\n"))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		fr, err := ParseFrame(line) // must never panic
+		if err != nil {
+			return
+		}
+		// Accepted frames re-encode and parse back to the same frame: the
+		// decoder is a fixed point over its own output.
+		data, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %+v: %v", fr, err)
+		}
+		fr2, err := ParseFrame(data)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %q: %v", data, err)
+		}
+		a, _ := json.Marshal(fr)
+		b, _ := json.Marshal(fr2)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("roundtrip not a fixed point:\n  %s\n  %s", a, b)
+		}
+	})
+}

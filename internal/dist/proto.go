@@ -1,0 +1,186 @@
+// Package dist is the distribution layer behind a multi-process mbserved
+// fleet: a coordinator shards jobs across worker processes over a
+// versioned JSON-lines protocol (handshake, lease, heartbeat, result
+// frames), revokes the lease of a worker that stops heartbeating or drops
+// its connection and re-dispatches the job elsewhere (the collection
+// resumes from its MBCP checkpoint bit-identically), and backs the
+// serving layer's dedup story with a content-addressed result cache plus
+// request coalescing.
+//
+// The protocol is one JSON object per line in each direction:
+//
+//	worker → coordinator   {"type":"hello","proto":1,"worker":"w1","capacity":1}
+//	coordinator → worker   {"type":"welcome","proto":1}        (or "reject")
+//	coordinator → worker   {"type":"dispatch","lease":"L1","job":"job-000000",
+//	                        "spec":{...},"checkpoint":"/state/job-000000.ckpt"}
+//	worker → coordinator   {"type":"heartbeat","lease":"L1","active":1}   (periodic)
+//	worker → coordinator   {"type":"result","lease":"L1","job":"...","result":{...}}
+//	worker → coordinator   {"type":"fail","lease":"L1","job":"...","error":"..."}
+//
+// Workers and the coordinator share a filesystem for checkpoint and state
+// files (one box, or a shared volume): the dispatch frame names the
+// checkpoint path, so whichever worker picks a job up — including a
+// re-dispatch after a kill -9 — resumes exactly where the last one
+// durably stopped.
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ProtoVersion is the wire-protocol version this build speaks. A hello
+// carrying any other version is rejected during the handshake, before a
+// single job frame is exchanged.
+const ProtoVersion = 1
+
+// MaxFrameBytes bounds one encoded frame. Specs and results are small
+// JSON documents; anything larger is a protocol error, not a buffer to
+// grow for.
+const MaxFrameBytes = 8 << 20
+
+// Frame types.
+const (
+	TypeHello     = "hello"     // worker → coordinator: handshake open
+	TypeWelcome   = "welcome"   // coordinator → worker: handshake accept
+	TypeReject    = "reject"    // coordinator → worker: handshake refuse
+	TypeDispatch  = "dispatch"  // coordinator → worker: run this job under this lease
+	TypeHeartbeat = "heartbeat" // worker → coordinator: lease is alive
+	TypeResult    = "result"    // worker → coordinator: job finished
+	TypeFail      = "fail"      // worker → coordinator: job failed
+)
+
+// Frame is one protocol message. Which fields are meaningful depends on
+// Type; Validate enforces the per-type requirements.
+type Frame struct {
+	Type string `json:"type"`
+	// Proto is the protocol version (hello, welcome).
+	Proto int `json:"proto,omitempty"`
+	// Worker names the worker (hello).
+	Worker string `json:"worker,omitempty"`
+	// Capacity is how many jobs the worker runs concurrently (hello).
+	Capacity int `json:"capacity,omitempty"`
+	// Lease identifies one dispatched execution (dispatch, heartbeat,
+	// result, fail).
+	Lease string `json:"lease,omitempty"`
+	// Job is the job ID the lease executes (dispatch, result, fail).
+	Job string `json:"job,omitempty"`
+	// Spec is the job's opaque specification (dispatch).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Checkpoint is the job's snapshot path on the shared filesystem
+	// (dispatch).
+	Checkpoint string `json:"checkpoint,omitempty"`
+	// Active is the worker's running-job count (heartbeat).
+	Active int `json:"active,omitempty"`
+	// Result is the job's output (result).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the failure cause (fail, reject).
+	Error string `json:"error,omitempty"`
+}
+
+// ProtoError reports a frame that failed decoding or validation. The
+// connection carrying it is broken and must be torn down; leases ride on
+// connection health, so the jobs it carried are re-dispatched.
+type ProtoError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *ProtoError) Error() string { return "dist: protocol error: " + e.Reason }
+
+// ParseFrame decodes and validates one frame line. It never panics on any
+// input: malformed JSON, oversized lines, unknown types and frames missing
+// their type's required fields all return a *ProtoError.
+func ParseFrame(line []byte) (Frame, error) {
+	var f Frame
+	if len(line) > MaxFrameBytes {
+		return f, &ProtoError{Reason: fmt.Sprintf("frame of %d bytes exceeds the %d-byte bound", len(line), MaxFrameBytes)}
+	}
+	dec := json.NewDecoder(bytes.NewReader(line))
+	if err := dec.Decode(&f); err != nil {
+		return Frame{}, &ProtoError{Reason: "undecodable frame: " + err.Error()}
+	}
+	// One object per line: trailing non-space bytes are a framing bug, not
+	// data to be silently dropped.
+	if dec.More() {
+		return Frame{}, &ProtoError{Reason: "trailing data after the frame object"}
+	}
+	if err := f.Validate(); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// Validate enforces the per-type required fields.
+func (f Frame) Validate() error {
+	switch f.Type {
+	case TypeHello:
+		if f.Proto <= 0 {
+			return &ProtoError{Reason: "hello without a positive proto version"}
+		}
+		if f.Worker == "" {
+			return &ProtoError{Reason: "hello without a worker id"}
+		}
+		if f.Capacity <= 0 {
+			return &ProtoError{Reason: "hello without a positive capacity"}
+		}
+	case TypeWelcome:
+		if f.Proto <= 0 {
+			return &ProtoError{Reason: "welcome without a positive proto version"}
+		}
+	case TypeReject:
+		if f.Error == "" {
+			return &ProtoError{Reason: "reject without an error"}
+		}
+	case TypeDispatch:
+		if f.Lease == "" || f.Job == "" {
+			return &ProtoError{Reason: "dispatch without lease and job ids"}
+		}
+		if len(f.Spec) == 0 || !json.Valid(f.Spec) {
+			return &ProtoError{Reason: "dispatch without a valid spec document"}
+		}
+	case TypeHeartbeat:
+		if f.Lease == "" {
+			return &ProtoError{Reason: "heartbeat without a lease id"}
+		}
+		if f.Active < 0 {
+			return &ProtoError{Reason: "heartbeat with a negative active count"}
+		}
+	case TypeResult:
+		if f.Lease == "" || f.Job == "" {
+			return &ProtoError{Reason: "result without lease and job ids"}
+		}
+		if len(f.Result) == 0 || !json.Valid(f.Result) {
+			return &ProtoError{Reason: "result without a valid result document"}
+		}
+	case TypeFail:
+		if f.Lease == "" || f.Job == "" {
+			return &ProtoError{Reason: "fail without lease and job ids"}
+		}
+		if f.Error == "" {
+			return &ProtoError{Reason: "fail without an error"}
+		}
+	case "":
+		return &ProtoError{Reason: "frame without a type"}
+	default:
+		return &ProtoError{Reason: fmt.Sprintf("unknown frame type %q", f.Type)}
+	}
+	return nil
+}
+
+// EncodeFrame serializes a validated frame as one newline-terminated JSON
+// line, the exact bytes ParseFrame accepts back.
+func EncodeFrame(f Frame) ([]byte, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return nil, &ProtoError{Reason: "unencodable frame: " + err.Error()}
+	}
+	if len(data) > MaxFrameBytes {
+		return nil, &ProtoError{Reason: fmt.Sprintf("frame of %d bytes exceeds the %d-byte bound", len(data), MaxFrameBytes)}
+	}
+	return append(data, '\n'), nil
+}

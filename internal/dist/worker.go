@@ -1,0 +1,250 @@
+// The worker side of the fleet: dial the coordinator, shake hands, then
+// execute dispatched jobs — heartbeating each lease while it runs — and
+// report results. Workers are stateless between jobs: every durable
+// artifact (checkpoints, job records) lives on the shared filesystem, so
+// any worker can pick up any job, including one a dead peer left behind.
+package dist
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ExecFunc executes one dispatched job: the opaque spec document, with
+// collection state checkpointed at checkpointPath. The returned bytes are
+// the job's result document.
+type ExecFunc func(ctx context.Context, jobID string, spec json.RawMessage, checkpointPath string) (json.RawMessage, error)
+
+// WorkerConfig configures a Worker.
+type WorkerConfig struct {
+	// ID names the worker to the coordinator. Required, unique per fleet.
+	ID string
+	// Capacity is how many jobs run concurrently (default 1: collections
+	// already parallelize internally).
+	Capacity int
+	// Heartbeat is the per-lease heartbeat period (default 1s). It must
+	// stay well under the coordinator's LeaseTTL.
+	Heartbeat time.Duration
+	// DialRetry is the pause between reconnect attempts when the
+	// coordinator is unreachable (default 500ms).
+	DialRetry time.Duration
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Capacity <= 0 {
+		c.Capacity = 1
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = time.Second
+	}
+	if c.DialRetry <= 0 {
+		c.DialRetry = 500 * time.Millisecond
+	}
+	return c
+}
+
+// RejectedError reports a handshake the coordinator refused (version
+// skew, duplicate worker id). It is permanent: reconnecting with the same
+// identity would be refused again.
+type RejectedError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *RejectedError) Error() string { return "dist: coordinator rejected worker: " + e.Reason }
+
+// Worker executes jobs dispatched by a coordinator.
+type Worker struct {
+	cfg  WorkerConfig
+	exec ExecFunc
+
+	mu   sync.Mutex
+	conn net.Conn
+	stop context.CancelFunc
+}
+
+// NewWorker builds a worker around its executor.
+func NewWorker(cfg WorkerConfig, exec ExecFunc) (*Worker, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("dist: WorkerConfig.ID is required")
+	}
+	if exec == nil {
+		return nil, fmt.Errorf("dist: an ExecFunc is required")
+	}
+	return &Worker{cfg: cfg.withDefaults(), exec: exec}, nil
+}
+
+// Run connects to the coordinator at addr and serves dispatches until ctx
+// ends or the coordinator rejects the handshake. Connection loss cancels
+// the jobs riding on it (their leases are already being revoked
+// coordinator-side) and reconnects; interrupted collections resume from
+// their checkpoints when re-dispatched.
+func (w *Worker) Run(ctx context.Context, addr string) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	w.mu.Lock()
+	w.stop = cancel
+	w.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := w.session(ctx, addr)
+		var rej *RejectedError
+		if errors.As(err, &rej) {
+			return err
+		}
+		if err := sleepCtx(ctx, w.cfg.DialRetry); err != nil {
+			return err
+		}
+	}
+}
+
+// Close abruptly severs the worker: the connection drops and every
+// running job is cancelled, with no fail frames sent — exactly the
+// failure surface a kill -9 presents to the coordinator. Tests use it to
+// chaos-check re-dispatch; production deaths don't get to call anything.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	conn, stop := w.conn, w.stop
+	w.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	if stop != nil {
+		stop()
+	}
+}
+
+// session runs one connection lifetime.
+func (w *Worker) session(ctx context.Context, addr string) error {
+	d := net.Dialer{}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	w.mu.Lock()
+	w.conn = conn
+	w.mu.Unlock()
+
+	// The session context cancels every job the moment the connection
+	// dies: their leases die with it.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// One write mutex per session serializes hello, heartbeat and result
+	// frames from the job goroutines.
+	var wmu sync.Mutex
+	if err := writeFrame(conn, &wmu, Frame{
+		Type: TypeHello, Proto: ProtoVersion, Worker: w.cfg.ID, Capacity: w.cfg.Capacity,
+	}); err != nil {
+		return err
+	}
+	r := bufio.NewReaderSize(conn, 64<<10)
+	f, err := readFrame(r)
+	if err != nil {
+		return err
+	}
+	switch f.Type {
+	case TypeWelcome:
+	case TypeReject:
+		return &RejectedError{Reason: f.Error}
+	default:
+		return &ProtoError{Reason: fmt.Sprintf("handshake answered with %q, want welcome or reject", f.Type)}
+	}
+
+	var jobs sync.WaitGroup
+	defer jobs.Wait()
+	active := &counter{}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		f, err := readFrame(r)
+		if err != nil {
+			return err
+		}
+		if f.Type != TypeDispatch {
+			return &ProtoError{Reason: fmt.Sprintf("unexpected %q frame from coordinator", f.Type)}
+		}
+		jobs.Add(1)
+		go func(f Frame) {
+			defer jobs.Done()
+			w.runLease(sctx, conn, &wmu, f, active)
+		}(f)
+	}
+}
+
+// runLease executes one dispatched job, heartbeating until it settles.
+func (w *Worker) runLease(ctx context.Context, conn net.Conn, wmu *sync.Mutex, f Frame, active *counter) {
+	active.add(1)
+	defer active.add(-1)
+
+	// Heartbeats flow on their own goroutine so a compute-bound
+	// collection still proves the process is alive; a job that hangs
+	// beyond its deadline is the deadline's problem, not the lease's.
+	hctx, hcancel := context.WithCancel(ctx)
+	var beats sync.WaitGroup
+	beats.Add(1)
+	go func() {
+		defer beats.Done()
+		tick := time.NewTicker(w.cfg.Heartbeat)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hctx.Done():
+				return
+			case <-tick.C:
+				if writeFrame(conn, wmu, Frame{Type: TypeHeartbeat, Lease: f.Lease, Active: active.get()}) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	result, err := w.exec(ctx, f.Job, f.Spec, f.Checkpoint)
+	hcancel()
+	beats.Wait()
+	if err != nil {
+		_ = writeFrame(conn, wmu, Frame{Type: TypeFail, Lease: f.Lease, Job: f.Job, Error: err.Error()})
+		return
+	}
+	_ = writeFrame(conn, wmu, Frame{Type: TypeResult, Lease: f.Lease, Job: f.Job, Result: result})
+}
+
+// counter is a tiny gauge for the heartbeat's active-job count.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) add(d int) {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// sleepCtx pauses for d, aborting early when ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

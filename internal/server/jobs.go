@@ -7,6 +7,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 
 	"mobilebench/internal/cluster"
 	"mobilebench/internal/core"
@@ -89,26 +90,22 @@ type unitResult struct {
 	AvgPowerW  float64 `json:"avg_power_w"`
 }
 
-// execute runs the job's collection (checkpointed, always resuming from
-// whatever a previous process finished) and derives its kind's result.
-func (s *Server) execute(ctx context.Context, job *Job) (json.RawMessage, error) {
-	sp := job.Spec
+// specOptions builds the collection options a spec describes.
+// checkpointPath may be empty (fingerprinting does not need one).
+func specOptions(sp Spec, checkpointPath string) (core.Options, error) {
 	var units []workload.Workload
 	for _, name := range sp.Units {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		w, err := workload.ByName(name)
 		if err != nil {
-			return nil, err
+			return core.Options{}, err
 		}
 		units = append(units, w)
 	}
 	inj, err := fault.Parse(sp.Inject)
 	if err != nil {
-		return nil, err
+		return core.Options{}, err
 	}
-	ds, err := core.CollectContext(ctx, core.Options{
+	return core.Options{
 		Sim:     sim.Config{Seed: sp.Seed, Fault: inj},
 		Runs:    sp.Runs,
 		Units:   units,
@@ -118,10 +115,66 @@ func (s *Server) execute(ctx context.Context, job *Job) (json.RawMessage, error)
 			MinRuns:    sp.MinRuns,
 		},
 		// Resume unconditionally: a fresh job finds no snapshot (fresh
-		// start), an interrupted one finds its own completed pairs.
-		Checkpoint: s.checkpointPath(job),
-		Resume:     true,
-	})
+		// start), an interrupted one — including one re-dispatched after
+		// a worker death — finds its completed pairs.
+		Checkpoint: checkpointPath,
+		Resume:     checkpointPath != "",
+	}, nil
+}
+
+// CacheKey returns the spec's content address: a hex key binding the
+// collection fingerprint (seed, units, runs, simulator configuration,
+// fault plan, result-affecting retry knobs — the exact fingerprint the
+// checkpoint layer verifies) to the analysis kind and its normalized
+// parameters. Two specs with equal keys produce byte-identical results,
+// so the key is safe to answer from the cache or to coalesce on.
+// Execution-only knobs (Workers, TimeoutSec) are deliberately excluded:
+// they never change the bytes.
+func (sp Spec) CacheKey() (string, error) {
+	opts, err := specOptions(sp, "")
+	if err != nil {
+		return "", err
+	}
+	fp, err := opts.CheckpointFingerprint()
+	if err != nil {
+		return "", err
+	}
+	// Normalize the kind parameters so spec defaults and their explicit
+	// spellings address the same entry.
+	k, alg := 0, ""
+	if sp.Kind == "cluster" {
+		k = sp.K
+		if k == 0 {
+			k = 5
+		}
+		alg = sp.Algorithm
+		if alg == "" {
+			alg = "kmeans"
+		}
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "mbcache-v1|fp=%016x|kind=%s|k=%d|alg=%s|minruns=%d", fp, sp.Kind, k, alg, sp.MinRuns)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// execute runs the job's collection (checkpointed, always resuming from
+// whatever a previous process finished) and derives its kind's result.
+func (s *Server) execute(ctx context.Context, job *Job) (json.RawMessage, error) {
+	return ExecuteSpec(ctx, job.Spec, s.checkpointPath(job))
+}
+
+// ExecuteSpec runs one spec's collection and analysis outside any Server:
+// the fleet worker's entry point. Collection state checkpoints at
+// checkpointPath after every completed (unit, run), so whichever process
+// executes the spec next — after a drain, a crash or a kill -9 — resumes
+// from everything previously persisted and produces the same bytes an
+// undisturbed execution would.
+func ExecuteSpec(ctx context.Context, sp Spec, checkpointPath string) (json.RawMessage, error) {
+	opts, err := specOptions(sp, checkpointPath)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := core.CollectContext(ctx, opts)
 	if err != nil {
 		return nil, err
 	}

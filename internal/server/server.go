@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"mobilebench/internal/checkpoint"
+	"mobilebench/internal/dist"
 	"mobilebench/internal/par"
 )
 
@@ -56,6 +58,20 @@ type Config struct {
 	// before cancelling them; cancelled jobs resume from their checkpoint
 	// on restart (default 2s).
 	DrainGrace time.Duration
+	// CacheDir, when non-empty, enables the content-addressed result
+	// cache: successful results are stored under their spec's fingerprint
+	// key, and a later identical submission is answered from the cache in
+	// microseconds instead of re-executed.
+	CacheDir string
+	// Execute, when non-nil, replaces local in-process execution — the
+	// coordinator mode wires the fleet dispatcher here. The function
+	// receives the job's spec and the checkpoint path any (re-)execution
+	// must resume from.
+	Execute func(ctx context.Context, id string, spec Spec, checkpointPath string) (json.RawMessage, error)
+	// Ready, when non-nil, gates /readyz beyond the drain state — the
+	// coordinator mode reports false until at least one worker is
+	// connected.
+	Ready func() bool
 }
 
 func (c Config) withDefaults() Config {
@@ -78,10 +94,21 @@ type Job struct {
 	Status string `json:"status"`
 	// Seq is the admission sequence number (panic reports reference it).
 	Seq int `json:"seq"`
+	// SubmittedAt is the admission time; startup recovery replays
+	// unfinished jobs in this order (Seq breaking ties), so replayed work
+	// preserves the original admission order whatever order the state
+	// directory lists records in.
+	SubmittedAt time.Time `json:"submitted_at,omitzero"`
 	// Error holds the failure cause for StatusFailed.
 	Error string `json:"error,omitempty"`
 	// Result holds the job's output for StatusDone.
 	Result json.RawMessage `json:"result,omitempty"`
+	// Cached marks a result answered from the content-addressed cache
+	// without executing.
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced marks a result adopted from a concurrent identical
+	// execution (the observers share one run and one set of bytes).
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // Server runs jobs from a bounded queue over a fixed worker pool.
@@ -96,9 +123,19 @@ type Server struct {
 	order    []string // job IDs in admission order
 	seq      int
 	draining bool
+	running  int // jobs currently executing (feeds the Retry-After estimate)
+
+	// durs is a ring of recent terminal job durations in seconds; the
+	// adaptive Retry-After hint derives from their mean and the backlog.
+	durs    [durRingSize]float64
+	durN    int // samples recorded (saturates at durRingSize)
+	durNext int // next ring slot
 
 	queue chan *Job
 	wg    sync.WaitGroup
+
+	cache  *dist.Cache // nil when Config.CacheDir is empty
+	flight *dist.Coalescer
 
 	// execHook replaces execute in tests (panic-isolation coverage).
 	execHook func(context.Context, *Job) (json.RawMessage, error)
@@ -116,8 +153,15 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Server{cfg: cfg, jobs: make(map[string]*Job)}
+	s := &Server{cfg: cfg, jobs: make(map[string]*Job), flight: dist.NewCoalescer()}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	if cfg.CacheDir != "" {
+		cache, err := dist.OpenCache(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = cache
+	}
 
 	recovered, err := s.loadState()
 	if err != nil {
@@ -142,7 +186,12 @@ func New(cfg Config) (*Server, error) {
 }
 
 // loadState reads every persisted job record, returning the unfinished
-// ones in admission order.
+// ones in original admission order: submission time first (directory
+// listing order carries no meaning, and sequence numbers restart per
+// process life), sequence number breaking ties so replay stays
+// deterministic even for records admitted within one clock tick. Records
+// from before SubmittedAt existed carry the zero time and sort first, by
+// sequence — exactly the old behaviour.
 func (s *Server) loadState() ([]*Job, error) {
 	ents, err := os.ReadDir(s.cfg.StateDir)
 	if err != nil {
@@ -172,8 +221,14 @@ func (s *Server) loadState() ([]*Job, error) {
 			unfinished = append(unfinished, &job)
 		}
 	}
-	sort.Slice(s.order, func(i, j int) bool { return s.jobs[s.order[i]].Seq < s.jobs[s.order[j]].Seq })
-	sort.Slice(unfinished, func(i, j int) bool { return unfinished[i].Seq < unfinished[j].Seq })
+	admittedBefore := func(a, b *Job) bool {
+		if !a.SubmittedAt.Equal(b.SubmittedAt) {
+			return a.SubmittedAt.Before(b.SubmittedAt)
+		}
+		return a.Seq < b.Seq
+	}
+	sort.Slice(s.order, func(i, j int) bool { return admittedBefore(s.jobs[s.order[i]], s.jobs[s.order[j]]) })
+	sort.Slice(unfinished, func(i, j int) bool { return admittedBefore(unfinished[i], unfinished[j]) })
 	return unfinished, nil
 }
 
@@ -205,7 +260,7 @@ func (s *Server) Submit(spec Spec) (Job, error) {
 	}
 	seq := s.seq
 	s.seq++
-	job := &Job{ID: fmt.Sprintf("job-%06d", seq), Spec: spec, Status: StatusQueued, Seq: seq}
+	job := &Job{ID: fmt.Sprintf("job-%06d", seq), Spec: spec, Status: StatusQueued, Seq: seq, SubmittedAt: time.Now().UTC()}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.mu.Unlock()
@@ -304,8 +359,22 @@ func (s *Server) worker() {
 }
 
 // runJob executes one job with its deadline and panic isolation, and
-// persists the terminal state.
+// persists the terminal state. Identical submissions are deduplicated
+// twice on the way in: a spec whose result is already in the
+// content-addressed cache completes without executing at all, and specs
+// identical to an execution currently in flight coalesce onto it — every
+// observer gets the leader's exact bytes.
 func (s *Server) runJob(job *Job) {
+	start := time.Now()
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}()
+
 	if err := s.setStatus(job, StatusRunning, "", nil); err != nil {
 		_ = s.setStatus(job, StatusFailed, err.Error(), nil)
 		return
@@ -320,16 +389,56 @@ func (s *Server) runJob(job *Job) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	result, err := s.executeIsolated(ctx, job)
+
+	// The cache key addresses the result's content: the collection
+	// fingerprint (seed, units, simulator config, fault plan, retry
+	// policy) plus the analysis kind. Specs that fail to fingerprint
+	// (never, for a Validate-d spec) just skip deduplication.
+	key, keyErr := job.Spec.CacheKey()
+	if keyErr == nil && s.cache != nil {
+		if data, ok := s.cache.Get(key); ok {
+			s.mu.Lock()
+			job.Cached = true
+			s.mu.Unlock()
+			_ = s.setStatus(job, StatusDone, "", data)
+			s.recordDuration(time.Since(start))
+			return
+		}
+	}
+
+	var result json.RawMessage
+	var err error
+	if keyErr == nil {
+		var shared bool
+		result, err, shared = s.flight.Do(ctx, key, func() (json.RawMessage, error) {
+			res, ferr := s.executeIsolated(ctx, job)
+			if ferr == nil && s.cache != nil {
+				// Best effort: a failed cache write costs a future
+				// re-execution, not this job's result.
+				_ = s.cache.Put(key, res)
+			}
+			return res, ferr
+		})
+		if shared {
+			s.mu.Lock()
+			job.Coalesced = true
+			s.mu.Unlock()
+		}
+	} else {
+		result, err = s.executeIsolated(ctx, job)
+	}
+
 	switch {
 	case err == nil:
 		_ = s.setStatus(job, StatusDone, "", result)
+		s.recordDuration(time.Since(start))
 	case s.baseCtx.Err() != nil:
 		// The server is draining or dying, not the job failing: leave it
 		// resumable. Completed (unit, run) pairs are already on disk.
 		_ = s.setStatus(job, StatusInterrupted, "", nil)
 	default:
 		_ = s.setStatus(job, StatusFailed, err.Error(), nil)
+		s.recordDuration(time.Since(start))
 	}
 }
 
@@ -344,6 +453,9 @@ func (s *Server) executeIsolated(ctx context.Context, job *Job) (result json.Raw
 	}()
 	if s.execHook != nil {
 		return s.execHook(ctx, job)
+	}
+	if s.cfg.Execute != nil {
+		return s.cfg.Execute(ctx, job.ID, job.Spec, s.checkpointPath(job))
 	}
 	return s.execute(ctx, job)
 }
@@ -425,6 +537,10 @@ func (s *Server) Handler() http.Handler {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 			return
 		}
+		if s.cfg.Ready != nil && !s.cfg.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no workers connected"})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 	return mux
@@ -443,7 +559,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		case errors.As(err, &shed) && shed.overloaded:
 			// Load shedding: tell the client when the queue likely has room
 			// again rather than letting it hammer a full server.
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSec()))
 			writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
 		case errors.As(err, &shed):
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
@@ -455,8 +571,54 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": job.ID, "status": job.Status})
 }
 
-// retryAfterSec is the Retry-After hint on shed submissions.
-const retryAfterSec = 5
+// Retry-After bounds: the hint never tells a client to come back sooner
+// than a second or later than ten minutes, and falls back to the
+// historical 5 s before the server has observed a single job.
+const (
+	defaultRetryAfterSec = 5
+	minRetryAfterSec     = 1
+	maxRetryAfterSec     = 600
+	durRingSize          = 32
+)
+
+// recordDuration folds one terminal job's wall-clock into the ring the
+// Retry-After estimate reads. Cache hits count too — they genuinely are
+// the service rate a retrying client will experience.
+func (s *Server) recordDuration(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.durs[s.durNext] = d.Seconds()
+	s.durNext = (s.durNext + 1) % durRingSize
+	if s.durN < durRingSize {
+		s.durN++
+	}
+}
+
+// retryAfterSec derives the Retry-After hint from observed recent job
+// durations and the current backlog: with avg seconds per job, backlog
+// jobs ahead of the retrying client and MaxConcurrent lanes, a queue slot
+// should open in roughly avg*(backlog+1)/lanes seconds.
+func (s *Server) retryAfterSec() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.durN == 0 {
+		return defaultRetryAfterSec
+	}
+	var sum float64
+	for i := 0; i < s.durN; i++ {
+		sum += s.durs[i]
+	}
+	avg := sum / float64(s.durN)
+	backlog := len(s.queue) + s.running
+	est := int(math.Ceil(avg * float64(backlog+1) / float64(s.cfg.MaxConcurrent)))
+	if est < minRetryAfterSec {
+		return minRetryAfterSec
+	}
+	if est > maxRetryAfterSec {
+		return maxRetryAfterSec
+	}
+	return est
+}
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Jobs())
