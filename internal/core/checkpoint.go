@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io/fs"
+	"strings"
 
 	"mobilebench/internal/checkpoint"
 	"mobilebench/internal/sim"
@@ -28,38 +29,64 @@ import (
 // plan function themselves.
 func collectFingerprint(cfg sim.Config, runs int, units []workload.Workload, pol Resilience) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "mbckpt-v1|runs=%d", runs)
-	fmt.Fprintf(h, "|seed=%d|tick=%g|cache=%d|branch=%d|refresh=%d|rjit=%g|noise=%g|gov=%q|throttle=%t",
+	_, _ = h.Write([]byte(collectCanonical(cfg, runs, units, pol)))
+	return h.Sum64()
+}
+
+// collectCanonical renders the fingerprint's canonical pre-image — the
+// exact byte stream collectFingerprint hashes. Exposed (via
+// Options.CheckpointCanonical) so callers needing a wider digest than the
+// u64 snapshot fingerprint can hash the full string instead of folding an
+// already-64-bit value.
+func collectCanonical(cfg sim.Config, runs int, units []workload.Workload, pol Resilience) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mbckpt-v1|runs=%d", runs)
+	fmt.Fprintf(&b, "|seed=%d|tick=%g|cache=%d|branch=%d|refresh=%d|rjit=%g|noise=%g|gov=%q|throttle=%t",
 		cfg.Seed, cfg.TickSec, cfg.CacheSamples, cfg.BranchSamples, cfg.RefreshTicks,
 		cfg.RuntimeJitterRel, cfg.NoiseRel, cfg.Governor, cfg.EnableThermalThrottle)
 	// Appended only when non-default so every fingerprint minted before
 	// these options existed still verifies (PR 5 snapshots stay loadable).
 	if cfg.FastForward {
-		fmt.Fprintf(h, "|ff=true")
+		fmt.Fprintf(&b, "|ff=true")
 	}
 	if cfg.TraceMode != sim.TraceFull {
-		fmt.Fprintf(h, "|tmode=%d", cfg.TraceMode)
+		fmt.Fprintf(&b, "|tmode=%d", cfg.TraceMode)
 	}
 	// The platform digest covers every cluster/GPU/AIE/memory parameter;
 	// %+v renders structs field by field and maps in sorted key order, so
 	// the rendering is deterministic for a given binary.
-	fmt.Fprintf(h, "|plat=%+v", cfg.Platform)
+	fmt.Fprintf(&b, "|plat=%+v", cfg.Platform)
 	if cfg.Fault != nil {
-		fmt.Fprintf(h, "|fault=%+v", cfg.Fault.Config())
+		fmt.Fprintf(&b, "|fault=%+v", cfg.Fault.Config())
 	}
-	fmt.Fprintf(h, "|retries=%d|runtimeout=%d", pol.MaxRetries, int64(pol.RunTimeout))
+	fmt.Fprintf(&b, "|retries=%d|runtimeout=%d", pol.MaxRetries, int64(pol.RunTimeout))
 	for _, u := range units {
-		fmt.Fprintf(h, "|u=%q", u.Name)
+		fmt.Fprintf(&b, "|u=%q", u.Name)
 	}
-	return h.Sum64()
+	return b.String()
 }
 
 // CheckpointFingerprint returns the fingerprint a checkpoint written for
 // these options carries — the value Load verifies before restoring a
 // single record. Exposed for tooling and tests that inspect snapshots.
 func (o Options) CheckpointFingerprint() (uint64, error) {
-	if err := o.Validate(); err != nil {
+	canon, err := o.CheckpointCanonical()
+	if err != nil {
 		return 0, err
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(canon))
+	return h.Sum64(), nil
+}
+
+// CheckpointCanonical returns the canonical options string the checkpoint
+// fingerprint hashes — the fingerprint's full pre-image. Callers that
+// need collision resistance beyond the snapshot header's u64 (the
+// server's content-addressed cache key) hash this string with a wide
+// cryptographic digest instead of folding the 64-bit fingerprint.
+func (o Options) CheckpointCanonical() (string, error) {
+	if err := o.Validate(); err != nil {
+		return "", err
 	}
 	runs := o.Runs
 	if runs <= 0 {
@@ -71,9 +98,9 @@ func (o Options) CheckpointFingerprint() (uint64, error) {
 	}
 	eng, err := sim.New(o.Sim)
 	if err != nil {
-		return 0, err
+		return "", err
 	}
-	return collectFingerprint(eng.Config(), runs, units, o.Resilience), nil
+	return collectCanonical(eng.Config(), runs, units, o.Resilience), nil
 }
 
 // collectCheckpoint is the per-collection checkpoint state: the records

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -344,5 +345,31 @@ func TestCheckpointFingerprintSensitivity(t *testing.T) {
 	same.Workers = 8
 	if fp(same) != got {
 		t.Fatal("assembly-only knobs must not invalidate a snapshot")
+	}
+}
+
+// TestCheckpointCanonicalIsFingerprintPreimage pins the contract wider
+// digests (the server's cache key) rely on: the canonical string is the
+// exact byte stream the u64 fingerprint hashes, so hashing it with any
+// function inherits the fingerprint's coverage.
+func TestCheckpointCanonicalIsFingerprintPreimage(t *testing.T) {
+	opts := Options{Sim: sim.Config{Seed: 888}, Runs: 2, Units: shortUnits()[:2]}
+	canon, err := opts.CheckpointCanonical()
+	if err != nil {
+		t.Fatalf("CheckpointCanonical: %v", err)
+	}
+	if canon == "" {
+		t.Fatal("canonical string is empty")
+	}
+	fp, err := opts.CheckpointFingerprint()
+	if err != nil {
+		t.Fatalf("CheckpointFingerprint: %v", err)
+	}
+	h := fnv.New64a()
+	if _, err := h.Write([]byte(canon)); err != nil {
+		t.Fatal(err)
+	}
+	if h.Sum64() != fp {
+		t.Fatalf("FNV-64a(canonical) = %016x, want the fingerprint %016x", h.Sum64(), fp)
 	}
 }

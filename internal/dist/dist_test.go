@@ -320,6 +320,82 @@ func TestWorkerDeathRedispatchBitIdentical(t *testing.T) {
 	}
 }
 
+// TestGracefulWorkerStopRedispatches covers the SIGTERM surface: a
+// worker whose Run context is cancelled mid-job must NOT report the
+// cancellation as a fail frame (that would settle the job as a permanent
+// remote failure) — the lease is revoked through connection teardown and
+// the job completes on another worker, exactly like a kill -9.
+func TestGracefulWorkerStopRedispatches(t *testing.T) {
+	c, addr := startCoordinator(t, dist.CoordinatorConfig{})
+	started := make(chan struct{}, 1)
+	blocking := func(ctx context.Context, _ string, _ json.RawMessage, _ string) (json.RawMessage, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	w1, err := dist.NewWorker(dist.WorkerConfig{ID: "w1", Heartbeat: 50 * time.Millisecond}, blocking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	go func() { _ = w1.Run(ctx1, addr) }()
+	waitWorkers(t, c, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	var result json.RawMessage
+	var execErr error
+	go func() {
+		defer close(done)
+		result, execErr = c.Execute(ctx, "job-000000", json.RawMessage(`{}`), "")
+	}()
+	<-started
+	cancel1() // graceful stop: the exec sees context.Canceled mid-job
+
+	// The survivor inherits the job after the revocation.
+	healthy := func(_ context.Context, _ string, _ json.RawMessage, _ string) (json.RawMessage, error) {
+		return json.RawMessage(`{"ok":true}`), nil
+	}
+	startWorker(t, dist.WorkerConfig{ID: "w2", Heartbeat: 50 * time.Millisecond}, healthy, addr)
+
+	<-done
+	if execErr != nil {
+		t.Fatalf("gracefully stopped worker failed the job permanently: %v", execErr)
+	}
+	if string(result) != `{"ok":true}` {
+		t.Fatalf("result = %s, want the survivor's", result)
+	}
+}
+
+// TestIdleWorkerStopsPromptly: cancelling Run's context must unblock a
+// worker idling in its read loop — a SIGTERM'd idle worker exits instead
+// of hanging until SIGKILL.
+func TestIdleWorkerStopsPromptly(t *testing.T) {
+	c, addr := startCoordinator(t, dist.CoordinatorConfig{})
+	exec := func(_ context.Context, _ string, _ json.RawMessage, _ string) (json.RawMessage, error) {
+		return json.RawMessage(`{}`), nil
+	}
+	w, err := dist.NewWorker(dist.WorkerConfig{ID: "w1"}, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.Run(ctx, addr) }()
+	waitWorkers(t, c, 1)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("idle worker did not stop on context cancellation")
+	}
+}
+
 // TestLeaseTTLRevocation covers the heartbeat half of death detection: a
 // worker that stops heartbeating without dropping TCP (SIGSTOP, wedged
 // box) loses the lease after the TTL and the job completes elsewhere.

@@ -139,6 +139,16 @@ func (w *Worker) session(ctx context.Context, addr string) error {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// The read loop blocks on a live, idle connection, and nothing else
+	// would unblock it when ctx ends — a gracefully stopped idle worker
+	// must not hang until SIGKILL. Closing the connection from a watcher
+	// does; sctx also ends when session returns, so the watcher never
+	// outlives the connection it guards.
+	go func() {
+		<-sctx.Done()
+		_ = conn.Close()
+	}()
+
 	// One write mutex per session serializes hello, heartbeat and result
 	// frames from the job goroutines.
 	var wmu sync.Mutex
@@ -161,7 +171,14 @@ func (w *Worker) session(ctx context.Context, addr string) error {
 	}
 
 	var jobs sync.WaitGroup
-	defer jobs.Wait()
+	defer func() {
+		// Teardown cancels the jobs riding on this connection before
+		// waiting for them: their leases are already dead coordinator-side,
+		// so finishing the compute would only duplicate work some other
+		// worker is re-running.
+		cancel()
+		jobs.Wait()
+	}()
 	active := &counter{}
 	for {
 		if err := ctx.Err(); err != nil {
@@ -213,6 +230,15 @@ func (w *Worker) runLease(ctx context.Context, conn net.Conn, wmu *sync.Mutex, f
 	hcancel()
 	beats.Wait()
 	if err != nil {
+		// A cancellation that arrived through the session context is the
+		// worker stopping (SIGTERM) or the connection dying — not the job
+		// failing. A fail frame here would settle the job as a permanent
+		// remote failure; staying silent instead lets connection teardown
+		// revoke the lease, so the job re-dispatches and resumes from its
+		// checkpoint exactly as a kill -9 would.
+		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return
+		}
 		_ = writeFrame(conn, wmu, Frame{Type: TypeFail, Lease: f.Lease, Job: f.Job, Error: err.Error()})
 		return
 	}

@@ -12,6 +12,7 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -24,6 +25,12 @@ func TestCacheKeyNormalizesDefaults(t *testing.T) {
 	k1, err := base.CacheKey()
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The key is a full sha256 of the canonical spec string: wide enough
+	// that distinct specs silently sharing a cache entry is a
+	// cryptographic event, not a 64-bit birthday bound.
+	if len(k1) != 64 {
+		t.Fatalf("cache key %q has %d hex chars, want 64 (sha256)", k1, len(k1))
 	}
 	// Execution-only knobs and explicit default spellings share the key.
 	same := []Spec{
@@ -188,6 +195,77 @@ func TestCoalescedByteIdenticalAndSingleExecution(t *testing.T) {
 	}
 	if !bytes.Equal(r1.Result, r2.Result) {
 		t.Fatalf("coalesced observers diverged:\n%s\nvs\n%s", r1.Result, r2.Result)
+	}
+}
+
+// TestCoalescedFollowerDoesNotAdoptLeaderTimeout: coalescing is keyed on
+// CacheKey, which deliberately excludes TimeoutSec — so a follower with a
+// roomier deadline must not inherit the leader's context-cancellation
+// verdict as a permanent failure. When the leader times out, the follower
+// falls back to executing under its own deadline and succeeds.
+func TestCoalescedFollowerDoesNotAdoptLeaderTimeout(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrent: 2})
+	defer s.Shutdown(context.Background())
+
+	var mu sync.Mutex
+	calls := 0
+	release := make(chan struct{})
+	s.execHook = func(ctx context.Context, job *Job) (json.RawMessage, error) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n == 1 {
+			// The leader rides its (short) deadline into the ground once
+			// the follower has coalesced onto it.
+			<-release
+			return nil, context.DeadlineExceeded
+		}
+		return json.RawMessage(`{"ok":true}`), nil
+	}
+
+	leaderSpec := Spec{Kind: "characterize", Units: []string{shortUnit()}, Runs: 1, Workers: 1, TimeoutSec: 30}
+	followerSpec := leaderSpec
+	followerSpec.TimeoutSec = 0 // same cache key — execution-only knob
+
+	j1, err := s.Submit(leaderSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only submit the follower once the leader owns the in-flight entry,
+	// so leadership is deterministic.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.flight.Inflight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never entered the flight")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	j2, err := s.Submit(followerSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s, j2.ID, StatusRunning, 10*time.Second)
+	// Give the follower a beat to reach the flight's wait before the
+	// leader's deadline verdict lands.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+
+	r1 := waitStatus(t, s, j1.ID, StatusFailed, 30*time.Second)
+	if !strings.Contains(r1.Error, "deadline") {
+		t.Fatalf("leader error = %q, want its own deadline expiry", r1.Error)
+	}
+	r2 := waitStatus(t, s, j2.ID, StatusDone, 30*time.Second)
+	if r2.Coalesced {
+		t.Fatal("fallback execution still marked coalesced")
+	}
+	if string(r2.Result) != `{"ok":true}` {
+		t.Fatalf("follower result = %s, want its own execution's bytes", r2.Result)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 2 {
+		t.Fatalf("executions = %d, want 2 (timed-out leader + follower fallback)", calls)
 	}
 }
 

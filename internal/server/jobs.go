@@ -5,9 +5,10 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 
 	"mobilebench/internal/cluster"
 	"mobilebench/internal/core"
@@ -123,19 +124,23 @@ func specOptions(sp Spec, checkpointPath string) (core.Options, error) {
 }
 
 // CacheKey returns the spec's content address: a hex key binding the
-// collection fingerprint (seed, units, runs, simulator configuration,
-// fault plan, result-affecting retry knobs — the exact fingerprint the
-// checkpoint layer verifies) to the analysis kind and its normalized
-// parameters. Two specs with equal keys produce byte-identical results,
-// so the key is safe to answer from the cache or to coalesce on.
-// Execution-only knobs (Workers, TimeoutSec) are deliberately excluded:
-// they never change the bytes.
+// collection's canonical option string (seed, units, runs, simulator
+// configuration, fault plan, result-affecting retry knobs — the exact
+// pre-image the checkpoint fingerprint hashes) to the analysis kind and
+// its normalized parameters. Two specs with equal keys produce
+// byte-identical results, so the key is safe to answer from the cache or
+// to coalesce on. Execution-only knobs (Workers, TimeoutSec) are
+// deliberately excluded: they never change the bytes. The key is a
+// sha256 of the full canonical string — not a fold of the 64-bit
+// snapshot fingerprint — so distinct specs colliding into one cache
+// entry (and silently serving each other's bytes) is not a birthday
+// bound but a cryptographic one.
 func (sp Spec) CacheKey() (string, error) {
 	opts, err := specOptions(sp, "")
 	if err != nil {
 		return "", err
 	}
-	fp, err := opts.CheckpointFingerprint()
+	canon, err := opts.CheckpointCanonical()
 	if err != nil {
 		return "", err
 	}
@@ -152,9 +157,8 @@ func (sp Spec) CacheKey() (string, error) {
 			alg = "kmeans"
 		}
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "mbcache-v1|fp=%016x|kind=%s|k=%d|alg=%s|minruns=%d", fp, sp.Kind, k, alg, sp.MinRuns)
-	return fmt.Sprintf("%016x", h.Sum64()), nil
+	h := sha256.Sum256(fmt.Appendf(nil, "mbcache-v2|%s|kind=%s|k=%d|alg=%s|minruns=%d", canon, sp.Kind, k, alg, sp.MinRuns))
+	return hex.EncodeToString(h[:]), nil
 }
 
 // execute runs the job's collection (checkpointed, always resuming from

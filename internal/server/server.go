@@ -419,6 +419,21 @@ func (s *Server) runJob(job *Job) {
 			}
 			return res, ferr
 		})
+		if shared && err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// The leader's cancellation is not this job's verdict: the key
+			// deliberately excludes TimeoutSec, so the leader may have run
+			// under a shorter deadline than ours, and transient timeouts
+			// must not fan out to every observer as permanent failures.
+			// Execute under this job's own deadline instead. (If our own
+			// context is the expired one — the follower gave up waiting,
+			// or the server is draining — the fallback exits immediately
+			// with the same error, and the switch below classifies it.)
+			shared = false
+			result, err = s.executeIsolated(ctx, job)
+			if err == nil && s.cache != nil {
+				_ = s.cache.Put(key, result)
+			}
+		}
 		if shared {
 			s.mu.Lock()
 			job.Coalesced = true

@@ -6,7 +6,10 @@
 #   2. kill -9 the worker holding the lease mid-job and assert zero job
 #      loss: both submissions complete on the surviving worker,
 #   3. resubmit the same spec and assert it answers from the result cache,
-#   4. run the spec on a plain single-process server and assert the
+#   4. SIGTERM a worker mid-job (the graceful stop) and assert the same
+#      zero-loss story: the job re-dispatches instead of failing, and the
+#      stopped worker exits promptly,
+#   5. run the spec on a plain single-process server and assert the
 #      fleet's kill-9-interrupted result is byte-identical to it.
 set -euo pipefail
 
@@ -29,8 +32,8 @@ wait_http() { # wait_http URL SECONDS
   exit 1
 }
 
-submit() { # submit -> job id on stdout
-  curl -fsS -d "$SPEC" "$BASE/jobs" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'
+submit() { # submit [SPEC] -> job id on stdout
+  curl -fsS -d "${1:-$SPEC}" "$BASE/jobs" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p'
 }
 
 wait_done() { # wait_done ID SECONDS
@@ -106,9 +109,32 @@ RC=$(result_of "$C")
 [ "$RC" = "$RA" ] || { echo "FAIL: cached bytes diverge" >&2; exit 1; }
 echo "resubmission $C served from cache with identical bytes"
 
+# A *graceful* stop (SIGTERM) of the worker holding a lease must present
+# the same surface as the kill -9: the job re-dispatches to another worker
+# and completes — cancellation is never reported as a permanent failure —
+# and the stopped worker exits promptly instead of hanging until SIGKILL.
+"$BIN" -worker "$COORD" -worker-id w3 >>"$STATE/w3.log" 2>&1 &
+W3=$!
+SPEC_TERM='{"kind":"characterize","units":["Antutu Mem"],"runs":2,"workers":1,"seed":999,"inject":"hang=1,hang_sec=2,clean_after=-1"}'
+E=$(submit "$SPEC_TERM") # new seed: a fresh execution, not a cache hit
+for _ in $(seq 1 300); do
+  [ -s "$STATE/$E.ckpt" ] && break
+  sleep 0.1
+done
+[ -s "$STATE/$E.ckpt" ] || { echo "FAIL: SIGTERM job never checkpointed" >&2; exit 1; }
+kill -TERM "$W2" # deterministic placement leased the job to w2 (first at equal load)
+for _ in $(seq 1 100); do
+  kill -0 "$W2" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "$W2" 2>/dev/null && { echo "FAIL: SIGTERM'd worker still running after 10s" >&2; exit 1; }
+wait_done "$E" 60
+curl -fsS "$BASE/jobs/$E" | grep -q '"cached":true' && { echo "FAIL: SIGTERM job unexpectedly cached" >&2; exit 1; }
+echo "job $E survived a graceful worker stop; w2 exited promptly"
+
 kill -TERM "$SRV"
 wait "$SRV" || { echo "FAIL: coordinator exited non-zero on SIGTERM" >&2; exit 1; }
-kill -TERM "$W2" 2>/dev/null || true
+kill -TERM "$W3" 2>/dev/null || true
 
 # The kill-9-interrupted, re-dispatched result must be byte-identical to
 # an undisturbed single-process run of the same spec.
