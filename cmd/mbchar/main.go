@@ -7,6 +7,7 @@
 //	mbchar [-runs N] [-workers N] [-csv] [-correlation] [-observations]
 //	       [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
 //	       [-inject SPEC] [-checkpoint FILE] [-resume]
+//	       [-timing-model CMD] [-timing-replay DIR]
 //	       [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -35,12 +36,20 @@ func main() {
 	rf := cliflag.RegisterResilience()
 	cf := cliflag.RegisterCheckpoint()
 	pf := cliflag.RegisterProfile()
+	tf := cliflag.RegisterTiming()
 	flag.Parse()
 
 	if err := cf.Validate(); err != nil {
 		fatal(err)
 	}
+	if err := tf.Validate(); err != nil {
+		fatal(err)
+	}
 	inj, err := rf.Injector()
+	if err != nil {
+		fatal(err)
+	}
+	timing, err := tf.Provider(nil)
 	if err != nil {
 		fatal(err)
 	}
@@ -55,8 +64,13 @@ func main() {
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "mbchar: characterizing with %d workers\n", par.Workers(*workers))
 	}
+	simCfg := sim.Config{Seed: *seed, Fault: inj, FastForward: *fastForward}
+	if timing != nil {
+		simCfg.Timing = timing
+		defer timing.Close()
+	}
 	ds, err := core.Collect(core.Options{
-		Sim:        sim.Config{Seed: *seed, Fault: inj, FastForward: *fastForward},
+		Sim:        simCfg,
 		Runs:       *runs,
 		Workers:    *workers,
 		Resilience: rf.Policy(),

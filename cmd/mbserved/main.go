@@ -44,6 +44,8 @@ import (
 	"syscall"
 	"time"
 
+	"mobilebench/internal/cliflag"
+	"mobilebench/internal/cosim"
 	"mobilebench/internal/dist"
 	"mobilebench/internal/server"
 )
@@ -63,10 +65,14 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", time.Second, "per-lease heartbeat period (worker mode)")
 	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "heartbeat silence after which a lease is revoked and its job re-dispatched (coordinator mode)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (off when empty)")
+	tf := cliflag.RegisterTiming()
 	flag.Parse()
 
 	if *coordinator != "" && *workerAddr != "" {
 		fatal(errors.New("-coordinator and -worker are mutually exclusive"))
+	}
+	if err := tf.Validate(); err != nil {
+		fatal(err)
 	}
 
 	if *pprofAddr != "" {
@@ -80,8 +86,16 @@ func main() {
 		}()
 	}
 
+	timing, err := tf.Provider(nil)
+	if err != nil {
+		fatal(err)
+	}
+	if timing != nil {
+		defer timing.Close()
+	}
+
 	if *workerAddr != "" {
-		runWorker(*workerAddr, *workerID, *capacity, *heartbeat)
+		runWorker(*workerAddr, *workerID, *capacity, *heartbeat, timing)
 		return
 	}
 
@@ -92,6 +106,15 @@ func main() {
 		JobTimeout:    *jobTimeout,
 		DrainGrace:    *drainGrace,
 		CacheDir:      *cacheDir,
+	}
+	if timing != nil {
+		// Single-process mode executes jobs in this process, so the
+		// external model plugs in through the Execute hook. (A coordinator
+		// below overwrites this: it dispatches to workers, and timing is
+		// each worker's own -timing-model.)
+		cfg.Execute = func(ctx context.Context, id string, spec server.Spec, checkpointPath string) (json.RawMessage, error) {
+			return server.ExecuteSpecWith(ctx, spec, checkpointPath, server.ExecOptions{Timing: timing})
+		}
 	}
 
 	var coord *dist.Coordinator
@@ -153,10 +176,17 @@ func main() {
 
 // runWorker is the worker-mode main loop: execute dispatched specs
 // through the same checkpointed path the single-process server uses,
-// until the coordinator rejects us or a signal lands.
-func runWorker(addr, id string, capacity int, heartbeat time.Duration) {
+// until the coordinator rejects us or a signal lands. All workers of a
+// fleet must share one -timing-model configuration: a non-exact model
+// changes checkpoint fingerprints, and a job re-dispatched to a
+// differently-configured worker would refuse the first worker's snapshot.
+func runWorker(addr, id string, capacity int, heartbeat time.Duration, timing *cosim.Provider) {
 	if id == "" {
 		id = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	eo := server.ExecOptions{}
+	if timing != nil {
+		eo.Timing = timing
 	}
 	w, err := dist.NewWorker(dist.WorkerConfig{ID: id, Capacity: capacity, Heartbeat: heartbeat},
 		func(ctx context.Context, jobID string, raw json.RawMessage, checkpointPath string) (json.RawMessage, error) {
@@ -167,7 +197,7 @@ func runWorker(addr, id string, capacity int, heartbeat time.Duration) {
 			if err := sp.Validate(); err != nil {
 				return nil, err
 			}
-			return server.ExecuteSpec(ctx, sp, checkpointPath)
+			return server.ExecuteSpecWith(ctx, sp, checkpointPath, eo)
 		})
 	if err != nil {
 		fatal(err)

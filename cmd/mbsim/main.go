@@ -7,6 +7,7 @@
 //	mbsim -bench "3DMark Wild Life" [-runs N] [-workers N] [-csv] [-list]
 //	      [-max-retries N] [-run-timeout D] [-min-runs N] [-fail-fast]
 //	      [-inject SPEC] [-checkpoint FILE] [-resume] [-fast-forward]
+//	      [-timing-model CMD] [-timing-replay DIR]
 //	      [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -37,6 +38,7 @@ func main() {
 	rf := cliflag.RegisterResilience()
 	cf := cliflag.RegisterCheckpoint()
 	pf := cliflag.RegisterProfile()
+	tf := cliflag.RegisterTiming()
 	flag.Parse()
 
 	if *list {
@@ -61,11 +63,18 @@ func main() {
 	if err := cf.Validate(); err != nil {
 		fatal(err)
 	}
+	if err := tf.Validate(); err != nil {
+		fatal(err)
+	}
 	w, err := workload.ByName(*bench)
 	if err != nil {
 		fatal(err)
 	}
 	inj, err := rf.Injector()
+	if err != nil {
+		fatal(err)
+	}
+	timing, err := tf.Provider(nil)
 	if err != nil {
 		fatal(err)
 	}
@@ -83,8 +92,13 @@ func main() {
 	// A single-unit Collect rather than a bare engine loop: the same
 	// fan-out drives every CLI, so -checkpoint/-resume behave identically
 	// here and in the full characterizations.
+	simCfg := sim.Config{Fault: inj, FastForward: *fastForward}
+	if timing != nil {
+		simCfg.Timing = timing
+		defer timing.Close()
+	}
 	ds, err := core.Collect(core.Options{
-		Sim:        sim.Config{Fault: inj, FastForward: *fastForward},
+		Sim:        simCfg,
 		Runs:       *runs,
 		Units:      []workload.Workload{w},
 		Workers:    *workers,

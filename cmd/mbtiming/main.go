@@ -1,0 +1,38 @@
+// mbtiming is the reference external timing model: it serves the cosim
+// protocol on stdin/stdout so any mobilebench tool can run it via
+// -timing-model. The analytic model answers with the exact in-process
+// memory/storage math (byte-identical datasets); qdram adds a storage
+// service queue that carries backlog across ticks. -chaos turns it into a
+// deliberately misbehaving child for supervision testing.
+//
+// Usage:
+//
+//	mbsim -timing-model "mbtiming"              # analytic, bit-identical
+//	mbsim -timing-model "mbtiming -model qdram" # queued-DRAM storage
+//	mbtiming -chaos kill_batch=3                # die before the 3rd batch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mobilebench/internal/cosim"
+	"mobilebench/internal/fault"
+)
+
+func main() {
+	model := flag.String("model", cosim.ModelAnalytic, "timing model to serve: analytic or qdram")
+	chaos := flag.String("chaos", "", "cosim chaos spec, e.g. kill_batch=3 or hang_batch=2,hang_sec=10 (testing)")
+	flag.Parse()
+
+	cfg, err := fault.ParseCosim(*chaos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbtiming:", err)
+		os.Exit(2)
+	}
+	if err := cosim.Serve(os.Stdin, os.Stdout, cosim.ServeOptions{Model: *model, Chaos: cfg}); err != nil {
+		fmt.Fprintln(os.Stderr, "mbtiming:", err)
+		os.Exit(1)
+	}
+}

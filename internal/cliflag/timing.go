@@ -1,0 +1,77 @@
+// The shared external-timing-model flags: -timing-model names a child
+// command serving the cosim protocol, -timing-replay a directory for its
+// deterministic replay log. Wired identically into mbsim, mbchar and the
+// mbserved worker, so `-timing-model "mbtiming -model qdram"` means the
+// same collection everywhere.
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mobilebench/internal/cosim"
+	"mobilebench/internal/soc"
+)
+
+// Timing holds the values of the shared external-timing flags.
+type Timing struct {
+	// ModelCmd is the -timing-model child command line ("" = in-process).
+	ModelCmd string
+	// ReplayDir is the -timing-replay log directory ("" disables replay).
+	ReplayDir string
+}
+
+// RegisterTiming registers the external-timing flags on the default flag
+// set and returns the value holder; read it after flag.Parse.
+func RegisterTiming() *Timing {
+	return RegisterTimingOn(flag.CommandLine)
+}
+
+// RegisterTimingOn is RegisterTiming on an explicit flag set.
+func RegisterTimingOn(fs *flag.FlagSet) *Timing {
+	t := &Timing{}
+	fs.StringVar(&t.ModelCmd, "timing-model", "",
+		`external timing-model command serving the cosim protocol, e.g. "mbtiming -model qdram" ("" = in-process models)`)
+	fs.StringVar(&t.ReplayDir, "timing-replay", "",
+		"directory for the external model's deterministic replay log; resumed runs replay logged replies instead of re-asking")
+	return t
+}
+
+// Validate rejects flag combinations before any child is spawned.
+func (t *Timing) Validate() error {
+	if t.ReplayDir != "" && t.ModelCmd == "" {
+		return fmt.Errorf("-timing-replay requires -timing-model to name the external model")
+	}
+	return nil
+}
+
+// Provider builds the cosim provider for the platform (nil = the default
+// Snapdragon 888 HDK, matching sim.DefaultConfig): spawning the child,
+// completing the handshake and opening the replay log. It returns (nil,
+// nil) when -timing-model is unset — callers must then leave
+// sim.Config.Timing nil rather than storing a typed nil interface. Close
+// the provider after the collection.
+func (t *Timing) Provider(plat *soc.Platform) (*cosim.Provider, error) {
+	if t.ModelCmd == "" {
+		return nil, nil
+	}
+	if plat == nil {
+		plat = soc.Snapdragon888HDK()
+	}
+	cfg := cosim.Config{
+		Command: strings.Fields(t.ModelCmd),
+		MemHW:   plat.Memory,
+		StorHW:  plat.Storage,
+		Stderr:  os.Stderr,
+	}
+	if t.ReplayDir != "" {
+		if err := os.MkdirAll(t.ReplayDir, 0o755); err != nil {
+			return nil, err
+		}
+		cfg.ReplayPath = filepath.Join(t.ReplayDir, "cosim-replay.log")
+	}
+	return cosim.NewProvider(cfg)
+}

@@ -52,6 +52,17 @@ func collectCanonical(cfg sim.Config, runs int, units []workload.Workload, pol R
 	if cfg.TraceMode != sim.TraceFull {
 		fmt.Fprintf(&b, "|tmode=%d", cfg.TraceMode)
 	}
+	// A timing backend joins the fingerprint only when its replies can
+	// differ from the in-process analytic models (Fingerprint() != ""):
+	// snapshots from an exact backend (cmd/mbtiming -model analytic) stay
+	// interchangeable with in-process ones — they hold the same bytes —
+	// while e.g. a queued-DRAM backend's snapshots never silently resume a
+	// collection that would finish with different numbers.
+	if tp := cfg.Timing; tp != nil {
+		if id := tp.Fingerprint(); id != "" {
+			fmt.Fprintf(&b, "|timing=%q", id)
+		}
+	}
 	// The platform digest covers every cluster/GPU/AIE/memory parameter;
 	// %+v renders structs field by field and maps in sorted key order, so
 	// the rendering is deterministic for a given binary.

@@ -164,6 +164,13 @@ type RunProvenance struct {
 	Dropped bool
 	// Faults lists the transient failures encountered, in attempt order.
 	Faults []string
+	// TimingNotes and TimingDegraded carry the external timing backend's
+	// health over the run (restarts, circuit-break fallback to the
+	// in-process model). They describe the measuring process rather than
+	// the measurement, so checkpoints do not persist them: a restored
+	// (unit, run) reports none — the process that measured it already did.
+	TimingNotes    []string
+	TimingDegraded bool
 }
 
 // UnitProvenance records how one unit's run set was obtained; it is the
@@ -215,17 +222,30 @@ func (p UnitProvenance) TotalOutlierReruns() int {
 }
 
 // Degraded reports whether the unit's result is anything less than a full
-// set of clean runs: dropped runs or repaired (rather than re-run) traces.
+// set of clean runs: dropped runs, repaired (rather than re-run) traces, or
+// runs answered by the timing backend's degradation fallback.
 func (p UnitProvenance) Degraded() bool {
 	if p.RunsUsed < p.RunsRequested {
 		return true
 	}
 	for _, r := range p.Runs {
-		if r.RepairedSamples > 0 || r.Dropped {
+		if r.RepairedSamples > 0 || r.Dropped || r.TimingDegraded {
 			return true
 		}
 	}
 	return false
+}
+
+// TimingDegradedRuns counts the runs measured (at least partly) by the
+// timing backend's in-process fallback after a circuit break.
+func (p UnitProvenance) TimingDegradedRuns() int {
+	n := 0
+	for _, r := range p.Runs {
+		if r.TimingDegraded {
+			n++
+		}
+	}
+	return n
 }
 
 // String renders a compact one-line summary ("3/3 runs, 7 attempts,
@@ -238,6 +258,9 @@ func (p UnitProvenance) String() string {
 	}
 	if n := p.TotalRepairedSamples(); n > 0 {
 		fmt.Fprintf(&b, ", %d repaired samples", n)
+	}
+	if n := p.TimingDegradedRuns(); n > 0 {
+		fmt.Fprintf(&b, ", %d runs on the degraded timing fallback", n)
 	}
 	return b.String()
 }
@@ -278,6 +301,7 @@ func collectRun(ctx context.Context, eng *sim.Engine, w workload.Workload, run i
 		if err == nil {
 			st.res = res
 			st.perm = nil
+			recordTiming(&st.prov, res)
 			return nil
 		}
 		if cerr := ctx.Err(); cerr != nil {
@@ -305,6 +329,7 @@ func collectRun(ctx context.Context, eng *sim.Engine, w workload.Workload, run i
 				st.prov.Faults = append(st.prov.Faults,
 					fmt.Sprintf("repaired trace in place: %d truncated, %d interpolated samples",
 						stats.TruncatedSamples, stats.InterpolatedSamples))
+				recordTiming(&st.prov, lastCorrupt)
 				return nil
 			}
 		}
@@ -314,6 +339,18 @@ func collectRun(ctx context.Context, eng *sim.Engine, w workload.Workload, run i
 		return st.perm
 	}
 	return nil
+}
+
+// recordTiming folds a successful attempt's timing-backend health report
+// into the run's provenance.
+func recordTiming(prov *RunProvenance, res *sim.Result) {
+	if res == nil {
+		return
+	}
+	prov.TimingNotes = append(prov.TimingNotes, res.TimingNotes...)
+	if res.TimingDegraded {
+		prov.TimingDegraded = true
+	}
 }
 
 // runAttempt executes one attempt with its own timeout and panic recovery:

@@ -1,0 +1,119 @@
+// The timing models a child can serve, expressed as pure functions over a
+// (query, threaded state) pair. The analytic model re-exposes the exact
+// in-process mem.StepFrom / mem.ServiceIO math, so its replies are
+// bit-identical to a run that never left the process — both the reference
+// child (cmd/mbtiming) and the supervisor's circuit-break fallback call it.
+package cosim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mobilebench/internal/mem"
+	"mobilebench/internal/soc"
+)
+
+// Model names.
+const (
+	// ModelAnalytic is the in-process analytic pair over the protocol;
+	// replies are bit-identical to in-process collection (Exact).
+	ModelAnalytic = "analytic"
+	// ModelQDRAM is the queued-DRAM variant: the analytic memory model
+	// plus a storage queue that carries a backlog across ticks, so
+	// overloaded ticks spill service time into their successors. Not
+	// exact — datasets collected under it get their own checkpoint
+	// fingerprint.
+	ModelQDRAM = "qdram"
+)
+
+// answerFunc computes one query's reply for a fixed hardware description.
+type answerFunc func(q Query) (Reply, error)
+
+// modelFor returns the named model's answer function and whether its
+// replies are exact (bit-identical to the in-process analytic path).
+func modelFor(name string, memHW soc.Memory, storHW soc.Storage) (answerFunc, bool, error) {
+	switch name {
+	case ModelAnalytic:
+		return func(q Query) (Reply, error) { return answerAnalytic(memHW, storHW, q) }, true, nil
+	case ModelQDRAM:
+		return func(q Query) (Reply, error) { return answerQDRAM(memHW, storHW, q) }, false, nil
+	default:
+		return nil, false, fmt.Errorf("cosim: unknown timing model %q (want %s or %s)", name, ModelAnalytic, ModelQDRAM)
+	}
+}
+
+// answerAnalytic answers one query with the exact in-process analytic
+// models. Memory state is the current residency footprint, threaded as the
+// query/reply state document; the storage model is stateless.
+func answerAnalytic(memHW soc.Memory, storHW soc.Storage, q Query) (Reply, error) {
+	switch q.Kind {
+	case KindMem:
+		var cur mem.Footprint
+		if len(q.State) > 0 {
+			if err := json.Unmarshal(q.State, &cur); err != nil {
+				return Reply{}, &ProtoError{Reason: "mem query state: " + err.Error()}
+			}
+		}
+		res, next := mem.StepFrom(memHW, cur, *q.Target, q.DT)
+		state, err := json.Marshal(next)
+		if err != nil {
+			return Reply{}, &ProtoError{Reason: "mem reply state: " + err.Error()}
+		}
+		return Reply{Mem: &res, State: state}, nil
+	case KindIO:
+		res := mem.ServiceIO(storHW, *q.IO, q.DT)
+		return Reply{IO: &res}, nil
+	default:
+		return Reply{}, &ProtoError{Reason: fmt.Sprintf("unknown query kind %q", q.Kind)}
+	}
+}
+
+// qdramState is the queued-DRAM storage state threaded through io queries.
+type qdramState struct {
+	// BacklogMB is unserviced demand carried into the next tick.
+	BacklogMB float64 `json:"backlog_mb"`
+}
+
+// answerQDRAM serves memory queries exactly like the analytic model and
+// storage queries through a service queue: demand beyond the device's rated
+// sequential throughput accumulates as backlog, inflating utilization and
+// IO-submission CPU time on the following ticks until it drains.
+func answerQDRAM(memHW soc.Memory, storHW soc.Storage, q Query) (Reply, error) {
+	if q.Kind != KindIO {
+		return answerAnalytic(memHW, storHW, q)
+	}
+	var st qdramState
+	if len(q.State) > 0 {
+		if err := json.Unmarshal(q.State, &st); err != nil {
+			return Reply{}, &ProtoError{Reason: "io query state: " + err.Error()}
+		}
+	}
+	d := *q.IO
+	res := mem.ServiceIO(storHW, d, q.DT)
+	demandMB := (d.SeqReadMBs+d.SeqWriteMBs)*q.DT + (d.RandReadIOPS+d.RandWriteIOPS)*4096/1e6*q.DT
+	capMB := (storHW.SeqReadMBs + storHW.SeqWriteMBs) * q.DT
+	queued := st.BacklogMB + demandMB
+	movedMB := queued
+	if capMB > 0 && movedMB > capMB {
+		movedMB = capMB
+	}
+	st.BacklogMB = queued - movedMB
+	res.BytesMoved = movedMB * 1e6
+	if capMB > 0 {
+		pressure := st.BacklogMB / capMB
+		if pressure > 1 {
+			pressure = 1
+		}
+		if u := res.Util + 0.5*pressure; u < 1 {
+			res.Util = u
+		} else {
+			res.Util = 1
+		}
+		res.CPUDemand *= 1 + pressure
+	}
+	state, err := json.Marshal(st)
+	if err != nil {
+		return Reply{}, &ProtoError{Reason: "io reply state: " + err.Error()}
+	}
+	return Reply{IO: &res, State: state}, nil
+}

@@ -1,0 +1,175 @@
+package cosim
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mobilebench/internal/mem"
+	"mobilebench/internal/soc"
+)
+
+func testHW() (soc.Memory, soc.Storage) {
+	p := soc.Snapdragon888HDK()
+	return p.Memory, p.Storage
+}
+
+func testMemQuery() Query {
+	return Query{Kind: KindMem, DT: 0.1, Target: &mem.Footprint{}}
+}
+
+func testIOQuery() Query {
+	return Query{Kind: KindIO, DT: 0.1, IO: &mem.IODemand{SeqReadMBs: 100}}
+}
+
+// TestFrameRoundTrip: every frame type encodes to one line that parses back
+// deep-equal.
+func TestFrameRoundTrip(t *testing.T) {
+	memHW, storHW := testHW()
+	frames := []Frame{
+		{Type: TypeHello, Proto: ProtoVersion, Memory: &memHW, Storage: &storHW},
+		{Type: TypeWelcome, Proto: ProtoVersion, Model: ModelAnalytic, Exact: true},
+		{Type: TypeReject, Error: "nope"},
+		{Type: TypeBatch, ID: 7, Queries: []Query{testMemQuery(), testIOQuery()}},
+		{Type: TypeReplies, ID: 7, Replies: []Reply{{Mem: &mem.Result{}}, {IO: &mem.IOResult{}, State: json.RawMessage(`{"backlog_mb":1}`)}}},
+	}
+	for _, f := range frames {
+		data, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("%s: EncodeFrame: %v", f.Type, err)
+		}
+		if data[len(data)-1] != '\n' {
+			t.Fatalf("%s: frame is not newline-terminated", f.Type)
+		}
+		got, err := ParseFrame(bytes.TrimSuffix(data, []byte("\n")))
+		if err != nil {
+			t.Fatalf("%s: ParseFrame: %v", f.Type, err)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("%s: round trip drifted:\n got %+v\nwant %+v", f.Type, got, f)
+		}
+	}
+}
+
+// TestParseFrameRejects: malformed lines return *ProtoError, never panic.
+func TestParseFrameRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":             ``,
+		"not json":          `}{`,
+		"no type":           `{}`,
+		"unknown type":      `{"type":"quux"}`,
+		"trailing data":     `{"type":"reject","error":"x"} {"type":"reject","error":"y"}`,
+		"hello no proto":    `{"type":"hello"}`,
+		"hello no hw":       `{"type":"hello","proto":1}`,
+		"welcome no proto":  `{"type":"welcome","model":"analytic"}`,
+		"welcome no model":  `{"type":"welcome","proto":1}`,
+		"reject no error":   `{"type":"reject"}`,
+		"batch empty":       `{"type":"batch","id":1}`,
+		"batch bad kind":    `{"type":"batch","queries":[{"kind":"quux","dt":0.1}]}`,
+		"mem no target":     `{"type":"batch","queries":[{"kind":"mem","dt":0.1}]}`,
+		"io no demand":      `{"type":"batch","queries":[{"kind":"io","dt":0.1}]}`,
+		"query zero dt":     `{"type":"batch","queries":[{"kind":"mem","dt":0,"target":{}}]}`,
+		"replies empty":     `{"type":"replies","id":1}`,
+		"wrong value type":  `{"type":"batch","queries":"zap"}`,
+		"type not a string": `{"type":42}`,
+	}
+	for name, line := range cases {
+		if _, err := ParseFrame([]byte(line)); err == nil {
+			t.Errorf("%s: ParseFrame accepted %q", name, line)
+		} else if _, ok := err.(*ProtoError); !ok {
+			t.Errorf("%s: error is %T, want *ProtoError", name, err)
+		}
+	}
+}
+
+// TestParseFrameBoundsSize: an oversized line is refused before decoding.
+func TestParseFrameBoundsSize(t *testing.T) {
+	line := []byte(`{"type":"reject","error":"` + strings.Repeat("x", MaxFrameBytes) + `"}`)
+	if _, err := ParseFrame(line); err == nil {
+		t.Fatal("ParseFrame accepted an oversized frame")
+	}
+}
+
+// TestParseFrameIgnoresUnknownFields: forward compatibility — a newer
+// peer's extra fields must not break this parser.
+func TestParseFrameIgnoresUnknownFields(t *testing.T) {
+	f, err := ParseFrame([]byte(`{"type":"welcome","proto":1,"model":"analytic","future_field":{"a":1}}`))
+	if err != nil {
+		t.Fatalf("ParseFrame: %v", err)
+	}
+	if f.Model != ModelAnalytic {
+		t.Fatalf("model = %q", f.Model)
+	}
+}
+
+// TestQueryKeyCanonical: equal queries key identically, distinct queries
+// never collide (the key is the full query document).
+func TestQueryKeyCanonical(t *testing.T) {
+	a1, err := queryKey(testMemQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := queryKey(testMemQuery())
+	if a1 != a2 {
+		t.Fatalf("equal queries keyed differently: %q vs %q", a1, a2)
+	}
+	b := testMemQuery()
+	b.DT = 0.2
+	bk, _ := queryKey(b)
+	if bk == a1 {
+		t.Fatal("distinct queries share a key")
+	}
+	c := testMemQuery()
+	c.State = json.RawMessage(`{"UsedMB":1}`)
+	ck, _ := queryKey(c)
+	if ck == a1 {
+		t.Fatal("queries with distinct state share a key")
+	}
+}
+
+// FuzzCosimParseFrame: the parser never panics on any input, and every
+// accepted frame re-encodes to a fixed point — parse(encode(parse(x)))
+// yields the same bytes as encode(parse(x)), so logged and re-sent frames
+// are stable.
+func FuzzCosimParseFrame(f *testing.F) {
+	memHW, storHW := testHW()
+	for _, fr := range []Frame{
+		{Type: TypeHello, Proto: ProtoVersion, Memory: &memHW, Storage: &storHW},
+		{Type: TypeWelcome, Proto: ProtoVersion, Model: ModelQDRAM},
+		{Type: TypeBatch, ID: 3, Queries: []Query{testMemQuery(), testIOQuery()}},
+		{Type: TypeReplies, ID: 3, Replies: []Reply{{Mem: &mem.Result{}}}},
+		{Type: TypeReject, Error: "skew"},
+	} {
+		data, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"type":"batch","queries":[{"kind":"mem","dt":1e-9,"target":{},"state":{}}]}`))
+	f.Add([]byte(`{"type":"hello","proto":-1}`))
+	f.Add([]byte(`}{ not a frame`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		fr, err := ParseFrame(line)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeFrame(fr)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		fr2, err := ParseFrame(bytes.TrimSuffix(enc, []byte("\n")))
+		if err != nil {
+			t.Fatalf("re-encoded frame does not re-parse: %v", err)
+		}
+		enc2, err := EncodeFrame(fr2)
+		if err != nil {
+			t.Fatalf("re-parsed frame does not encode: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding is not a fixed point:\n 1st %s\n 2nd %s", enc, enc2)
+		}
+	})
+}

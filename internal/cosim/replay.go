@@ -1,0 +1,219 @@
+// The deterministic replay log: every reply the supervisor accepts (from
+// the child or its own degradation fallback) is recorded under the query's
+// canonical bytes. A restarted child, a later attempt of the same run, or a
+// -resume'd collection replays logged replies instead of re-asking, so a
+// collection is bit-reproducible even when the child crashed mid-phase —
+// the same guarantee MBCP checkpoints give completed (unit, run) pairs,
+// one protocol layer further down.
+package cosim
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+	"sync"
+
+	"mobilebench/internal/checkpoint"
+)
+
+// Replay-log file format: magic, version, record count, records (each a
+// length-prefixed key and value), and a trailing CRC-32 (IEEE) of every
+// preceding byte. Records are written in sorted key order, so the file
+// bytes are a pure function of its contents.
+var replayMagic = [4]byte{'M', 'B', 'R', 'L'}
+
+// ReplayVersion is the log schema version.
+const ReplayVersion = 1
+
+// maxReplayRecord bounds one key or value; anything larger marks a corrupt
+// file rather than an allocation to attempt.
+const maxReplayRecord = MaxFrameBytes
+
+// replayFlushEvery is how many new records accumulate before the log is
+// rewritten to disk (it also flushes on Close/Flush).
+const replayFlushEvery = 256
+
+// LogError reports an unusable replay-log file. Corruption is loud: a
+// damaged log could silently serve wrong replies, so it fails the open
+// instead of degrading.
+type LogError struct {
+	Path   string
+	Reason string
+}
+
+// Error implements error.
+func (e *LogError) Error() string { return fmt.Sprintf("cosim: replay log %s: %s", e.Path, e.Reason) }
+
+// ReplayLog is the supervisor's reply cache: an in-memory map persisted as
+// a CRC'd file through checkpoint.AtomicFile. A nil *ReplayLog is valid and
+// caches nothing (replay disabled). Safe for concurrent use.
+type ReplayLog struct {
+	mu    sync.Mutex
+	path  string
+	m     map[string][]byte
+	dirty int
+}
+
+// OpenReplayLog loads the log at path, or starts an empty one when the file
+// does not exist yet. A corrupt, truncated or version-skewed file returns a
+// *LogError.
+func OpenReplayLog(path string) (*ReplayLog, error) {
+	l := &ReplayLog{path: path, m: make(map[string][]byte)}
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := l.decode(data); err != nil {
+			return nil, err
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh start.
+	default:
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *ReplayLog) decode(data []byte) error {
+	fail := func(reason string) error { return &LogError{Path: l.path, Reason: reason} }
+	if len(data) < len(replayMagic)+4+8+4 {
+		return fail("file too short to be a replay log")
+	}
+	if !bytes.Equal(data[:4], replayMagic[:]) {
+		return fail("bad magic (not a replay log)")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return fail("checksum mismatch (corrupt or truncated)")
+	}
+	r := bytes.NewReader(body[4:])
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return fail("unreadable version")
+	}
+	if version != ReplayVersion {
+		return fail(fmt.Sprintf("schema version %d (this build reads %d)", version, ReplayVersion))
+	}
+	var count uint64
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return fail("unreadable record count")
+	}
+	for i := uint64(0); i < count; i++ {
+		key, err := readBlob(r)
+		if err != nil {
+			return fail(fmt.Sprintf("record %d key: %v", i, err))
+		}
+		val, err := readBlob(r)
+		if err != nil {
+			return fail(fmt.Sprintf("record %d value: %v", i, err))
+		}
+		l.m[string(key)] = val
+	}
+	if r.Len() != 0 {
+		return fail("trailing bytes after the last record")
+	}
+	return nil
+}
+
+func readBlob(r *bytes.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxReplayRecord {
+		return nil, fmt.Errorf("blob of %d bytes exceeds the %d-byte bound", n, maxReplayRecord)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Get returns the logged reply bytes for the query key.
+func (l *ReplayLog) Get(key string) ([]byte, bool) {
+	if l == nil {
+		return nil, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v, ok := l.m[key]
+	return v, ok
+}
+
+// Put records a reply under its query key and flushes the file once enough
+// new records accumulated. Re-putting an existing key is a no-op: first
+// write wins, so a reply can never change under a key.
+func (l *ReplayLog) Put(key string, reply []byte) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.m[key]; ok {
+		return nil
+	}
+	l.m[key] = append([]byte(nil), reply...)
+	l.dirty++
+	if l.dirty >= replayFlushEvery {
+		return l.flushLocked()
+	}
+	return nil
+}
+
+// Len returns the number of logged replies.
+func (l *ReplayLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.m)
+}
+
+// Flush persists the log atomically (temp + fsync + rename); a crash
+// mid-flush leaves the previous file intact.
+func (l *ReplayLog) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked()
+}
+
+func (l *ReplayLog) flushLocked() error {
+	if l.dirty == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(l.m))
+	for k := range l.m {
+		keys = append(keys, k)
+	}
+	// Sorted order makes the file bytes a pure function of the contents,
+	// independent of insertion (and map-iteration) order.
+	sort.Strings(keys)
+	var b bytes.Buffer
+	b.Write(replayMagic[:])
+	_ = binary.Write(&b, binary.LittleEndian, uint32(ReplayVersion))
+	_ = binary.Write(&b, binary.LittleEndian, uint64(len(keys)))
+	for _, k := range keys {
+		_ = binary.Write(&b, binary.LittleEndian, uint32(len(k)))
+		b.WriteString(k)
+		v := l.m[k]
+		_ = binary.Write(&b, binary.LittleEndian, uint32(len(v)))
+		b.Write(v)
+	}
+	sum := crc32.ChecksumIEEE(b.Bytes())
+	_ = binary.Write(&b, binary.LittleEndian, sum)
+	if err := checkpoint.WriteFile(l.path, b.Bytes(), 0o644); err != nil {
+		return err
+	}
+	l.dirty = 0
+	return nil
+}

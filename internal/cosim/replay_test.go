@@ -1,0 +1,191 @@
+package cosim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tmpLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "replay.log")
+}
+
+// TestReplayLogRoundTrip: put, flush, reopen, get the same bytes back.
+func TestReplayLogRoundTrip(t *testing.T) {
+	path := tmpLog(t)
+	l, err := OpenReplayLog(path)
+	if err != nil {
+		t.Fatalf("OpenReplayLog: %v", err)
+	}
+	if err := l.Put("q1", []byte(`{"mem":{}}`)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := l.Put("q2", []byte(`{"io":{}}`)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	re, err := OpenReplayLog(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reopened log has %d records, want 2", re.Len())
+	}
+	v, ok := re.Get("q1")
+	if !ok || string(v) != `{"mem":{}}` {
+		t.Fatalf("Get(q1) = %q, %v", v, ok)
+	}
+}
+
+// TestReplayLogFirstWriteWins: a reply can never change under its key.
+func TestReplayLogFirstWriteWins(t *testing.T) {
+	l, err := OpenReplayLog(tmpLog(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Put("k", []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Put("k", []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := l.Get("k"); string(v) != "first" {
+		t.Fatalf("Get = %q, want the first write", v)
+	}
+}
+
+// TestReplayLogNilSafe: a nil log (replay disabled) caches nothing and
+// errors nowhere.
+func TestReplayLogNilSafe(t *testing.T) {
+	var l *ReplayLog
+	if _, ok := l.Get("k"); ok {
+		t.Fatal("nil log returned a hit")
+	}
+	if err := l.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 0 {
+		t.Fatal("nil log has length")
+	}
+}
+
+// TestReplayLogAutoFlush: the log persists itself every replayFlushEvery
+// new records, so a crashed process loses at most one batch's tail.
+func TestReplayLogAutoFlush(t *testing.T) {
+	path := tmpLog(t)
+	l, err := OpenReplayLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < replayFlushEvery; i++ {
+		if err := l.Put(fmt.Sprintf("k%04d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re, err := OpenReplayLog(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if re.Len() != replayFlushEvery {
+		t.Fatalf("auto-flushed log has %d records, want %d", re.Len(), replayFlushEvery)
+	}
+}
+
+// TestReplayLogDeterministicBytes: the file bytes are a pure function of
+// the contents, independent of insertion order.
+func TestReplayLogDeterministicBytes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, keys []string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		l, err := OpenReplayLog(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if err := l.Put(k, []byte("v-"+k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := write("a.log", []string{"x", "y", "z"})
+	b := write("b.log", []string{"z", "x", "y"})
+	if string(a) != string(b) {
+		t.Fatal("log bytes depend on insertion order")
+	}
+}
+
+// TestReplayLogRefusesDamage: corruption is loud — a damaged log fails the
+// open instead of silently serving wrong replies.
+func TestReplayLogRefusesDamage(t *testing.T) {
+	path := tmpLog(t)
+	l, err := OpenReplayLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Put("key", []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := map[string]func() []byte{
+		"flipped byte": func() []byte {
+			d := append([]byte(nil), good...)
+			d[len(d)/2] ^= 0xff
+			return d
+		},
+		"truncated": func() []byte { return good[:len(good)-3] },
+		"bad magic": func() []byte {
+			d := append([]byte(nil), good...)
+			d[0] = 'X'
+			return d
+		},
+		"version skew": func() []byte {
+			d := append([]byte(nil), good...)
+			binary.LittleEndian.PutUint32(d[4:], ReplayVersion+1)
+			// Recompute the CRC so only the version is wrong.
+			binary.LittleEndian.PutUint32(d[len(d)-4:], crc32.ChecksumIEEE(d[:len(d)-4]))
+			return d
+		},
+		"trailing bytes": func() []byte {
+			d := append(append([]byte(nil), good...), "extra"...)
+			return d
+		},
+		"too short": func() []byte { return good[:6] },
+	}
+	for name, make := range damage {
+		if err := os.WriteFile(path, make(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := OpenReplayLog(path)
+		if err == nil {
+			t.Errorf("%s: OpenReplayLog accepted a damaged file", name)
+			continue
+		}
+		if _, ok := err.(*LogError); !ok {
+			t.Errorf("%s: error is %T, want *LogError", name, err)
+		}
+	}
+}

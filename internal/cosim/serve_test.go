@@ -1,0 +1,221 @@
+package cosim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"mobilebench/internal/fault"
+	"mobilebench/internal/mem"
+)
+
+func mustParseCosimChaos(t *testing.T, spec string) fault.CosimConfig {
+	t.Helper()
+	cfg, err := fault.ParseCosim(spec)
+	if err != nil {
+		t.Fatalf("ParseCosim(%q): %v", spec, err)
+	}
+	return cfg
+}
+
+// driveServe feeds the frames to Serve and returns the reply frames.
+func driveServe(t *testing.T, opts ServeOptions, frames ...Frame) ([]Frame, error) {
+	t.Helper()
+	var in bytes.Buffer
+	for _, f := range frames {
+		data, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("EncodeFrame: %v", err)
+		}
+		in.Write(data)
+	}
+	var out bytes.Buffer
+	err := Serve(&in, &out, opts)
+	var replies []Frame
+	sc := bufio.NewScanner(&out)
+	sc.Buffer(make([]byte, 64*1024), MaxFrameBytes+4096)
+	for sc.Scan() {
+		f, perr := ParseFrame(sc.Bytes())
+		if perr != nil {
+			t.Fatalf("child emitted an unparsable frame: %v", perr)
+		}
+		replies = append(replies, f)
+	}
+	return replies, err
+}
+
+// TestServeAnalyticExact: the handshake names the model and marks it
+// exact, and batch replies carry the exact in-process math.
+func TestServeAnalyticExact(t *testing.T) {
+	memHW, storHW := testHW()
+	target := mem.Footprint{}
+	demand := mem.IODemand{SeqReadMBs: 200, RandReadIOPS: 1000}
+	out, err := driveServe(t, ServeOptions{},
+		Frame{Type: TypeHello, Proto: ProtoVersion, Memory: &memHW, Storage: &storHW},
+		Frame{Type: TypeBatch, ID: 5, Queries: []Query{
+			{Kind: KindMem, DT: 0.1, Target: &target},
+			{Kind: KindIO, DT: 0.1, IO: &demand},
+		}},
+	)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("child answered %d frames, want 2", len(out))
+	}
+	w := out[0]
+	if w.Type != TypeWelcome || w.Proto != ProtoVersion || w.Model != ModelAnalytic || !w.Exact {
+		t.Fatalf("welcome = %+v", w)
+	}
+	r := out[1]
+	if r.Type != TypeReplies || r.ID != 5 || len(r.Replies) != 2 {
+		t.Fatalf("replies = %+v", r)
+	}
+	wantMem, wantNext := mem.StepFrom(memHW, mem.Footprint{}, target, 0.1)
+	if !reflect.DeepEqual(*r.Replies[0].Mem, wantMem) {
+		t.Fatalf("mem reply drifted from mem.StepFrom:\n got %+v\nwant %+v", *r.Replies[0].Mem, wantMem)
+	}
+	var next mem.Footprint
+	if err := json.Unmarshal(r.Replies[0].State, &next); err != nil {
+		t.Fatalf("mem state: %v", err)
+	}
+	if next != wantNext {
+		t.Fatalf("threaded state drifted: got %+v want %+v", next, wantNext)
+	}
+	wantIO := mem.ServiceIO(storHW, demand, 0.1)
+	if !reflect.DeepEqual(*r.Replies[1].IO, wantIO) {
+		t.Fatalf("io reply drifted from mem.ServiceIO:\n got %+v\nwant %+v", *r.Replies[1].IO, wantIO)
+	}
+}
+
+// TestServeRejectsVersionSkew: a parent speaking another protocol version
+// gets a reject, and Serve errors out.
+func TestServeRejectsVersionSkew(t *testing.T) {
+	memHW, storHW := testHW()
+	out, err := driveServe(t, ServeOptions{},
+		Frame{Type: TypeHello, Proto: ProtoVersion + 1, Memory: &memHW, Storage: &storHW})
+	if err == nil {
+		t.Fatal("Serve accepted a skewed hello")
+	}
+	if len(out) != 1 || out[0].Type != TypeReject {
+		t.Fatalf("replies = %+v, want one reject", out)
+	}
+}
+
+// TestServeRejectsUnknownModel: an unknown -model yields a reject.
+func TestServeRejectsUnknownModel(t *testing.T) {
+	memHW, storHW := testHW()
+	out, err := driveServe(t, ServeOptions{Model: "quux"},
+		Frame{Type: TypeHello, Proto: ProtoVersion, Memory: &memHW, Storage: &storHW})
+	if err == nil {
+		t.Fatal("Serve accepted an unknown model")
+	}
+	if len(out) != 1 || out[0].Type != TypeReject {
+		t.Fatalf("replies = %+v, want one reject", out)
+	}
+}
+
+// TestServeEOFBeforeHello: a parent that goes away before the handshake is
+// a clean exit, not an error.
+func TestServeEOFBeforeHello(t *testing.T) {
+	var out bytes.Buffer
+	if err := Serve(bytes.NewReader(nil), &out, ServeOptions{}); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("child wrote %q before any hello", out.String())
+	}
+}
+
+// TestServeGarbageChaos answers the scheduled batch with a non-protocol
+// line — and only that batch.
+func TestServeGarbageChaos(t *testing.T) {
+	memHW, storHW := testHW()
+	target := mem.Footprint{}
+	mkBatch := func(id uint64) Frame {
+		return Frame{Type: TypeBatch, ID: id, Queries: []Query{{Kind: KindMem, DT: 0.1, Target: &target}}}
+	}
+	var in bytes.Buffer
+	for _, f := range []Frame{
+		{Type: TypeHello, Proto: ProtoVersion, Memory: &memHW, Storage: &storHW},
+		mkBatch(1), mkBatch(2), mkBatch(3),
+	} {
+		data, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Write(data)
+	}
+	var out bytes.Buffer
+	if err := Serve(&in, &out, ServeOptions{Chaos: mustParseCosimChaos(t, "garbage_batch=2")}); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	var lines [][]byte
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		lines = append(lines, append([]byte(nil), sc.Bytes()...))
+	}
+	if len(lines) != 4 {
+		t.Fatalf("child wrote %d lines, want 4", len(lines))
+	}
+	if _, err := ParseFrame(lines[2]); err == nil {
+		t.Fatal("the garbage line parses as a frame")
+	}
+	for _, i := range []int{1, 3} {
+		f, err := ParseFrame(lines[i])
+		if err != nil || f.Type != TypeReplies {
+			t.Fatalf("line %d: %v %+v", i, err, f)
+		}
+	}
+}
+
+// TestQDRAMBacklogCarries: overload demand spills into the next tick's
+// utilization and CPU demand through the threaded state.
+func TestQDRAMBacklogCarries(t *testing.T) {
+	memHW, storHW := testHW()
+	answer, exact, err := modelFor(ModelQDRAM, memHW, storHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact {
+		t.Fatal("qdram claims to be exact")
+	}
+	// Demand far above the device's rated throughput: backlog must form.
+	overload := mem.IODemand{SeqReadMBs: (storHW.SeqReadMBs + storHW.SeqWriteMBs) * 3}
+	r1, err := answer(Query{Kind: KindIO, DT: 0.1, IO: &overload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st qdramState
+	if err := json.Unmarshal(r1.State, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.BacklogMB <= 0 {
+		t.Fatalf("no backlog after 3x overload: %+v", st)
+	}
+	// An idle follow-up tick still pays for the backlog.
+	idle := mem.IODemand{}
+	r2, err := answer(Query{Kind: KindIO, DT: 0.1, IO: &idle, State: r1.State})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm := mem.ServiceIO(storHW, idle, 0.1)
+	if r2.IO.Util <= calm.Util {
+		t.Fatalf("backlog did not inflate utilization: %v vs calm %v", r2.IO.Util, calm.Util)
+	}
+	if r2.IO.BytesMoved <= calm.BytesMoved {
+		t.Fatalf("backlog did not drain: moved %v vs calm %v", r2.IO.BytesMoved, calm.BytesMoved)
+	}
+	// Memory queries pass through to the exact analytic math.
+	target := mem.Footprint{}
+	rm, err := answer(Query{Kind: KindMem, DT: 0.1, Target: &target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMem, _ := mem.StepFrom(memHW, mem.Footprint{}, target, 0.1)
+	if !reflect.DeepEqual(*rm.Mem, wantMem) {
+		t.Fatal("qdram mem path drifted from the analytic model")
+	}
+}

@@ -1,0 +1,487 @@
+// The supervision envelope around the external timing process: spawn,
+// version-checked handshake with a deadline, per-batch query deadlines,
+// crash detection on pipe EOF, hang detection via read timeouts, capped
+// deterministically-jittered restart backoff, and a circuit breaker that —
+// after MaxStrikes failed exchanges — stops restarting and answers every
+// further query with the in-process analytic models. Because the protocol
+// threads all model state through the queries, a restarted child resumes
+// mid-run with zero warm-up, and (for an exact child) the fallback computes
+// the very same bytes, so every failure path converges to the same dataset.
+package cosim
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+	"sync"
+	"time"
+
+	"mobilebench/internal/soc"
+	"mobilebench/internal/xrand"
+)
+
+// Supervision defaults.
+const (
+	defaultHandshakeTimeout = 5 * time.Second
+	defaultQueryTimeout     = 2 * time.Second
+	defaultMaxStrikes       = 3
+	defaultBackoffBase      = 50 * time.Millisecond
+	defaultBackoffCap       = 1 * time.Second
+	defaultSeed             = 888
+)
+
+// Config parameterizes a Supervisor.
+type Config struct {
+	// Command is the child command line (argv); Command[0] is the binary.
+	Command []string
+	// Env is extra environment appended to the parent's (tests use it to
+	// steer the re-exec'd child); nil inherits the parent environment.
+	Env []string
+	// MemHW and StorHW describe the simulated platform; they travel in the
+	// hello frame so the child computes against exactly this hardware.
+	MemHW  soc.Memory
+	StorHW soc.Storage
+	// HandshakeTimeout bounds the hello→welcome round trip (0 = 5 s).
+	HandshakeTimeout time.Duration
+	// QueryTimeout bounds each batch round trip; a child that exceeds it
+	// is declared hung and killed (0 = 2 s).
+	QueryTimeout time.Duration
+	// MaxStrikes is how many failed exchanges (crash, hang, garbage,
+	// failed restart) the supervisor tolerates before opening the circuit
+	// breaker and degrading permanently to the in-process models (0 = 3).
+	MaxStrikes int
+	// BackoffBase is the delay before the first restart; it doubles per
+	// restart, capped at BackoffCap, with a deterministic ±50% jitter from
+	// (Seed, restart count). Zero selects 50 ms / 1 s.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Seed drives the backoff jitter stream (0 = 888).
+	Seed uint64
+	// ReplayPath names the replay-log file ("" disables replay logging).
+	ReplayPath string
+	// Stderr receives the child's stderr (nil discards it).
+	Stderr io.Writer
+}
+
+func (c Config) normalize() Config {
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = defaultHandshakeTimeout
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = defaultQueryTimeout
+	}
+	if c.MaxStrikes <= 0 {
+		c.MaxStrikes = defaultMaxStrikes
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = defaultBackoffBase
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = defaultBackoffCap
+	}
+	if c.Seed == 0 {
+		c.Seed = defaultSeed
+	}
+	return c
+}
+
+// SkewError reports a version-skewed or rejected handshake: the child
+// speaks a different protocol, so restarting cannot help. It opens the
+// circuit immediately without burning strikes.
+type SkewError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *SkewError) Error() string { return "cosim: handshake failed permanently: " + e.Reason }
+
+// ExchangeInfo reports what happened around one exchange: supervision
+// events (restarts, circuit opening) and whether the replies came from the
+// degraded in-process fallback.
+type ExchangeInfo struct {
+	// Notes lists supervision events that fired during this exchange.
+	Notes []string
+	// Degraded marks replies computed by the in-process fallback.
+	Degraded bool
+}
+
+// child is one running model process.
+type child struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	// lines carries the child's stdout lines; closed on EOF (crash).
+	lines chan []byte
+}
+
+// Supervisor runs and guards one external timing process. All exchanges are
+// serialized: the child answers one batch at a time, which keeps the
+// failure attribution trivial (an unexpected or missing frame always
+// belongs to the in-flight batch). Safe for concurrent use.
+type Supervisor struct {
+	cfg Config
+	log *ReplayLog
+	// fallback answers queries in-process once the circuit opens.
+	fallback answerFunc
+
+	mu       sync.Mutex
+	c        *child
+	nextID   uint64
+	strikes  int
+	restarts int
+	open     bool
+	model    string
+	exact    bool
+	closed   bool
+}
+
+// NewSupervisor validates the config, opens the replay log, spawns the
+// child and completes the version-checked handshake. Handshake failures at
+// construction are returned as errors (fail fast at CLI startup) instead of
+// opening the circuit.
+func NewSupervisor(cfg Config) (*Supervisor, error) {
+	if len(cfg.Command) == 0 || cfg.Command[0] == "" {
+		return nil, fmt.Errorf("cosim: empty timing-model command")
+	}
+	cfg = cfg.normalize()
+	s := &Supervisor{cfg: cfg}
+	fb, _, err := modelFor(ModelAnalytic, cfg.MemHW, cfg.StorHW)
+	if err != nil {
+		return nil, err
+	}
+	s.fallback = fb
+	if cfg.ReplayPath != "" {
+		if s.log, err = OpenReplayLog(cfg.ReplayPath); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.spawnLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Model returns the child's model name from the welcome frame.
+func (s *Supervisor) Model() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.model
+}
+
+// Exact reports whether the child declared its replies bit-identical to the
+// in-process analytic models.
+func (s *Supervisor) Exact() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exact
+}
+
+// Degraded reports whether the circuit breaker has opened: all further
+// queries are answered by the in-process fallback.
+func (s *Supervisor) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.open
+}
+
+// Close kills the child and flushes the replay log. The supervisor is
+// unusable afterwards.
+func (s *Supervisor) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.killLocked()
+	return s.log.Flush()
+}
+
+// Exchange answers the queries, in order: first from the replay log, then —
+// for whatever the log cannot answer — from the supervised child (or the
+// in-process fallback once the circuit is open). Every newly computed reply
+// is appended to the log before Exchange returns it, so re-asking after any
+// crash, restart or resume replays the same bytes.
+func (s *Supervisor) Exchange(queries []Query) ([]Reply, ExchangeInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var info ExchangeInfo
+	if s.closed {
+		return nil, info, fmt.Errorf("cosim: supervisor is closed")
+	}
+	out := make([]Reply, len(queries))
+	keys := make([]string, len(queries))
+	var missing []int
+	for i, q := range queries {
+		k, err := queryKey(q)
+		if err != nil {
+			return nil, info, err
+		}
+		keys[i] = k
+		raw, ok := s.log.Get(k)
+		if !ok {
+			missing = append(missing, i)
+			continue
+		}
+		var r Reply
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, info, &LogError{Path: s.cfg.ReplayPath, Reason: "logged reply undecodable: " + err.Error()}
+		}
+		out[i] = r
+	}
+	if len(missing) == 0 {
+		return out, info, nil
+	}
+	sub := make([]Query, len(missing))
+	for j, i := range missing {
+		sub[j] = queries[i]
+	}
+	reps, err := s.askLocked(sub, &info)
+	if err != nil {
+		return nil, info, err
+	}
+	for j, i := range missing {
+		out[i] = reps[j]
+		raw, merr := json.Marshal(reps[j])
+		if merr != nil {
+			return nil, info, &ProtoError{Reason: "unencodable reply: " + merr.Error()}
+		}
+		if err := s.log.Put(keys[i], raw); err != nil {
+			return nil, info, err
+		}
+	}
+	return out, info, nil
+}
+
+// askLocked obtains replies for queries the log could not answer, driving
+// the strike/restart/circuit state machine until it has them.
+func (s *Supervisor) askLocked(queries []Query, info *ExchangeInfo) ([]Reply, error) {
+	for {
+		if s.open {
+			info.Degraded = true
+			reps := make([]Reply, len(queries))
+			for i, q := range queries {
+				r, err := s.fallback(q)
+				if err != nil {
+					return nil, err
+				}
+				reps[i] = r
+			}
+			return reps, nil
+		}
+		if s.c == nil {
+			if err := s.restartLocked(info); err != nil {
+				// A skewed or rejected handshake on restart is permanent —
+				// the replacement child speaks a different protocol (say, a
+				// binary upgraded under us), and no amount of respawning
+				// fixes that. Straight to the circuit, no strikes burned.
+				if _, skew := err.(*SkewError); skew {
+					s.openCircuitLocked(info, err)
+				} else {
+					s.strikeLocked(info, err)
+				}
+			}
+			continue
+		}
+		reps, err := s.exchangeOnceLocked(queries)
+		if err == nil {
+			return reps, nil
+		}
+		s.strikeLocked(info, err)
+	}
+}
+
+// strikeLocked records one failed exchange or restart: the child (if any)
+// is killed, and once the strike budget is spent the circuit opens.
+func (s *Supervisor) strikeLocked(info *ExchangeInfo, cause error) {
+	s.strikes++
+	s.killLocked()
+	if s.strikes >= s.cfg.MaxStrikes {
+		s.openCircuitLocked(info, cause)
+		return
+	}
+	info.Notes = append(info.Notes,
+		fmt.Sprintf("cosim: strike %d/%d against %s: %v", s.strikes, s.cfg.MaxStrikes, s.cfg.Command[0], cause))
+}
+
+// openCircuitLocked degrades the supervisor permanently to the in-process
+// fallback.
+func (s *Supervisor) openCircuitLocked(info *ExchangeInfo, cause error) {
+	s.open = true
+	s.killLocked()
+	info.Notes = append(info.Notes,
+		fmt.Sprintf("cosim: circuit opened after %d strikes, degrading to the in-process analytic models: %v", s.strikes, cause))
+}
+
+// restartLocked waits the capped deterministically-jittered backoff and
+// spawns a fresh child.
+func (s *Supervisor) restartLocked(info *ExchangeInfo) error {
+	d := s.cfg.BackoffBase
+	for i := 0; i < s.restarts && d < s.cfg.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > s.cfg.BackoffCap {
+		d = s.cfg.BackoffCap
+	}
+	// Jitter in [0.5, 1.5), derived from (seed, restart count): the
+	// schedule is reproducible run to run, like every other delay in the
+	// collection pipeline.
+	rng := xrand.New(s.cfg.Seed).Split(0xc0517).Split(uint64(s.restarts) + 1)
+	d = time.Duration(float64(d) * (0.5 + rng.Float64()))
+	t := time.NewTimer(d)
+	<-t.C
+	s.restarts++
+	if err := s.spawnLocked(); err != nil {
+		return err
+	}
+	info.Notes = append(info.Notes, fmt.Sprintf("cosim: restarted %s (restart %d)", s.cfg.Command[0], s.restarts))
+	return nil
+}
+
+// spawnLocked starts the child process and completes the handshake.
+func (s *Supervisor) spawnLocked() error {
+	cmd := exec.Command(s.cfg.Command[0], s.cfg.Command[1:]...)
+	if s.cfg.Env != nil {
+		cmd.Env = append(cmd.Environ(), s.cfg.Env...)
+	}
+	cmd.Stderr = s.cfg.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return fmt.Errorf("cosim: child stdin: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return fmt.Errorf("cosim: child stdout: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("cosim: starting %s: %w", s.cfg.Command[0], err)
+	}
+	c := &child{cmd: cmd, stdin: stdin, lines: make(chan []byte, 4)}
+	go readLines(stdout, c.lines)
+	if err := s.handshakeLocked(c); err != nil {
+		killChild(c)
+		return err
+	}
+	s.c = c
+	return nil
+}
+
+// readLines pumps the child's stdout lines into the channel, closing it on
+// EOF — the supervisor's crash signal.
+func readLines(r io.Reader, lines chan<- []byte) {
+	defer close(lines)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), MaxFrameBytes+4096)
+	for sc.Scan() {
+		lines <- append([]byte(nil), sc.Bytes()...)
+	}
+}
+
+// handshakeLocked sends the hello and awaits a version-matching welcome
+// within the handshake deadline. Version skew and rejects return a
+// *SkewError (permanent); everything else is an ordinary failure the
+// strike/restart machinery may recover from.
+func (s *Supervisor) handshakeLocked(c *child) error {
+	memHW, storHW := s.cfg.MemHW, s.cfg.StorHW
+	hello := Frame{Type: TypeHello, Proto: ProtoVersion, Memory: &memHW, Storage: &storHW}
+	f, err := s.roundTrip(c, hello, s.cfg.HandshakeTimeout)
+	if err != nil {
+		return err
+	}
+	switch f.Type {
+	case TypeWelcome:
+		if f.Proto != ProtoVersion {
+			return &SkewError{Reason: fmt.Sprintf("child speaks protocol %d, this build speaks %d", f.Proto, ProtoVersion)}
+		}
+		if s.model != "" && (s.model != f.Model || s.exact != f.Exact) {
+			// The model identity is pinned at construction; a restarted
+			// child announcing a different model would silently change the
+			// dataset mid-run.
+			return &SkewError{Reason: fmt.Sprintf("child model changed from %q to %q across restart", s.model, f.Model)}
+		}
+		s.model, s.exact = f.Model, f.Exact
+		return nil
+	case TypeReject:
+		return &SkewError{Reason: "child rejected the handshake: " + f.Error}
+	default:
+		return &ProtoError{Reason: fmt.Sprintf("expected welcome, got %q", f.Type)}
+	}
+}
+
+// exchangeOnceLocked performs one batch round trip against the live child.
+func (s *Supervisor) exchangeOnceLocked(queries []Query) ([]Reply, error) {
+	id := s.nextID
+	s.nextID++
+	f, err := s.roundTrip(s.c, Frame{Type: TypeBatch, ID: id, Queries: queries}, s.cfg.QueryTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != TypeReplies {
+		return nil, &ProtoError{Reason: fmt.Sprintf("expected replies, got %q", f.Type)}
+	}
+	if f.ID != id {
+		return nil, &ProtoError{Reason: fmt.Sprintf("replies for batch %d, expected %d", f.ID, id)}
+	}
+	if len(f.Replies) != len(queries) {
+		return nil, &ProtoError{Reason: fmt.Sprintf("%d replies for %d queries", len(f.Replies), len(queries))}
+	}
+	for i, r := range f.Replies {
+		switch queries[i].Kind {
+		case KindMem:
+			if r.Mem == nil {
+				return nil, &ProtoError{Reason: fmt.Sprintf("reply %d misses the mem result", i)}
+			}
+		case KindIO:
+			if r.IO == nil {
+				return nil, &ProtoError{Reason: fmt.Sprintf("reply %d misses the io result", i)}
+			}
+		}
+	}
+	return f.Replies, nil
+}
+
+// roundTrip writes one frame and awaits the next within the deadline. A
+// timeout (hung child), closed line channel (crashed child) or unparsable
+// line (garbage) is an error the caller converts into a strike.
+func (s *Supervisor) roundTrip(c *child, out Frame, timeout time.Duration) (Frame, error) {
+	data, err := EncodeFrame(out)
+	if err != nil {
+		return Frame{}, err
+	}
+	if _, err := c.stdin.Write(data); err != nil {
+		return Frame{}, fmt.Errorf("cosim: writing to child: %w", err)
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case line, ok := <-c.lines:
+		if !ok {
+			return Frame{}, fmt.Errorf("cosim: child exited (EOF on its stdout)")
+		}
+		return ParseFrame(line)
+	case <-t.C:
+		return Frame{}, fmt.Errorf("cosim: child did not answer within %v (hang)", timeout)
+	}
+}
+
+// killLocked tears the current child down (idempotent).
+func (s *Supervisor) killLocked() {
+	if s.c == nil {
+		return
+	}
+	killChild(s.c)
+	s.c = nil
+}
+
+func killChild(c *child) {
+	_ = c.stdin.Close()
+	if c.cmd.Process != nil {
+		_ = c.cmd.Process.Kill()
+	}
+	// Reap the process and drain the reader; both complete promptly after
+	// the kill closed the pipes.
+	_ = c.cmd.Wait()
+	for range c.lines {
+	}
+}

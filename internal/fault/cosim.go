@@ -1,0 +1,170 @@
+// Cosim fault kinds: deliberate misbehavior for an external timing-model
+// child (cmd/mbtiming -chaos), driving the supervisor's full failure
+// surface — crash (kill), hang, garbage frames, slow replies and protocol
+// version skew. Unlike the probabilistic run-level Injector, these faults
+// are scheduled by batch ordinal: the chaos tests need "die on exactly the
+// Nth batch" precision to assert recovery converges bit-identically.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CosimConfig schedules child-side faults by 1-based batch ordinal. The
+// zero value injects nothing.
+type CosimConfig struct {
+	// KillBatch exits the process (status 3) before answering batch N.
+	KillBatch int
+	// KillEvery exits before every Nth batch (counted per process
+	// lifetime) — the repeated-crash pattern that exhausts strikes.
+	KillEvery int
+	// HangBatch sleeps HangSec before answering batch N.
+	HangBatch int
+	// HangSec is the hang length in seconds (0 = 3600, an effective
+	// forever against the supervisor's per-query deadline).
+	HangSec float64
+	// GarbageBatch answers batch N with a non-protocol line.
+	GarbageBatch int
+	// SlowBatch delays batch N by SlowSec before answering correctly.
+	SlowBatch int
+	// SlowSec is the slow-reply delay in seconds.
+	SlowSec float64
+	// SkewVersion makes the welcome claim an alien protocol version.
+	SkewVersion bool
+	// SkewAfterSpawns skews the welcome only from spawn N+1 on (requires
+	// SpawnFile to count spawns across processes): a child that was fine,
+	// crashed, and came back incompatible — e.g. restarted into an
+	// upgraded binary.
+	SkewAfterSpawns int
+	// SpawnFile persists the spawn count across child processes.
+	SpawnFile string
+}
+
+// Enabled reports whether any cosim fault is configured.
+func (c CosimConfig) Enabled() bool {
+	return c != CosimConfig{}
+}
+
+// CosimPlan is the fault decision for one batch.
+type CosimPlan struct {
+	// Kill exits the process before answering.
+	Kill bool
+	// Hang sleeps for HangSec before answering.
+	Hang bool
+	// HangSec is the hang length in seconds.
+	HangSec float64
+	// Garbage answers with a non-protocol line.
+	Garbage bool
+	// SlowSec delays the (correct) answer by this many seconds.
+	SlowSec float64
+}
+
+// PlanForBatch returns the fault decision for the n-th batch (1-based) of
+// the current process. Zero-valued schedule fields never fire — 0 means
+// disabled, not batch zero.
+func (c CosimConfig) PlanForBatch(n int) CosimPlan {
+	var p CosimPlan
+	if n < 1 {
+		return p
+	}
+	if (c.KillBatch > 0 && n == c.KillBatch) || (c.KillEvery > 0 && n%c.KillEvery == 0) {
+		p.Kill = true
+	}
+	if c.HangBatch > 0 && n == c.HangBatch {
+		p.Hang = true
+		p.HangSec = c.HangSec
+		if p.HangSec <= 0 {
+			p.HangSec = 3600
+		}
+	}
+	if c.GarbageBatch > 0 && n == c.GarbageBatch {
+		p.Garbage = true
+	}
+	if c.SlowBatch > 0 && n == c.SlowBatch {
+		p.SlowSec = c.SlowSec
+	}
+	return p
+}
+
+// ParseCosim parses a cosim chaos spec: comma-separated key=value pairs,
+// e.g.
+//
+//	kill_batch=3
+//	kill_every=2,spawn_file=/tmp/spawns
+//	hang_batch=5,hang_sec=10
+//	skew_after_spawns=1,spawn_file=/tmp/spawns
+//
+// Keys: kill_batch, kill_every, hang_batch, hang_sec, garbage_batch,
+// slow_batch, slow_sec, skew_version, skew_after_spawns, spawn_file.
+// Unknown keys are errors. The empty spec returns the zero config.
+func ParseCosim(spec string) (CosimConfig, error) {
+	var cfg CosimConfig
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return cfg, fmt.Errorf("fault: cosim spec entry %q is not key=value", kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		bad := func(err error) (CosimConfig, error) {
+			return cfg, fmt.Errorf("fault: bad cosim %s=%q: %w", key, val, err)
+		}
+		switch key {
+		case "kill_batch", "kill_every", "hang_batch", "garbage_batch", "slow_batch", "skew_after_spawns":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return bad(err)
+			}
+			if n < 0 {
+				return cfg, fmt.Errorf("fault: cosim %s must be >= 0, got %d", key, n)
+			}
+			switch key {
+			case "kill_batch":
+				cfg.KillBatch = n
+			case "kill_every":
+				cfg.KillEvery = n
+			case "hang_batch":
+				cfg.HangBatch = n
+			case "garbage_batch":
+				cfg.GarbageBatch = n
+			case "slow_batch":
+				cfg.SlowBatch = n
+			case "skew_after_spawns":
+				cfg.SkewAfterSpawns = n
+			}
+		case "hang_sec", "slow_sec":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return bad(err)
+			}
+			if key == "hang_sec" {
+				cfg.HangSec = f
+			} else {
+				cfg.SlowSec = f
+			}
+		case "skew_version":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return bad(err)
+			}
+			cfg.SkewVersion = b
+		case "spawn_file":
+			cfg.SpawnFile = val
+		default:
+			return cfg, fmt.Errorf("fault: unknown cosim spec key %q", key)
+		}
+	}
+	if cfg.SkewAfterSpawns > 0 && cfg.SpawnFile == "" {
+		return cfg, fmt.Errorf("fault: cosim skew_after_spawns requires spawn_file to count spawns across processes")
+	}
+	return cfg, nil
+}

@@ -1,0 +1,73 @@
+package fault
+
+import "testing"
+
+// TestParseCosim: the spec grammar round-trips into the config.
+func TestParseCosim(t *testing.T) {
+	cfg, err := ParseCosim(" kill_every=2, hang_batch=5, hang_sec=0.5, garbage_batch=3, slow_batch=4, slow_sec=0.25, skew_after_spawns=1, spawn_file=/tmp/s ")
+	if err != nil {
+		t.Fatalf("ParseCosim: %v", err)
+	}
+	want := CosimConfig{
+		KillEvery: 2, HangBatch: 5, HangSec: 0.5, GarbageBatch: 3,
+		SlowBatch: 4, SlowSec: 0.25, SkewAfterSpawns: 1, SpawnFile: "/tmp/s",
+	}
+	if cfg != want {
+		t.Fatalf("cfg = %+v, want %+v", cfg, want)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("configured faults report disabled")
+	}
+	if c, err := ParseCosim(""); err != nil || c.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", c, err)
+	}
+	if c, err := ParseCosim("skew_version=true"); err != nil || !c.SkewVersion {
+		t.Fatalf("skew_version: %+v, %v", c, err)
+	}
+}
+
+// TestParseCosimRejects: malformed specs fail loudly.
+func TestParseCosimRejects(t *testing.T) {
+	for _, spec := range []string{
+		"kill_batch",          // no value
+		"kill_batch=x",        // not a number
+		"kill_batch=-1",       // negative
+		"hang_sec=zap",        // not a float
+		"skew_version=maybe",  // not a bool
+		"quux=1",              // unknown key
+		"skew_after_spawns=1", // requires spawn_file
+	} {
+		if _, err := ParseCosim(spec); err == nil {
+			t.Errorf("ParseCosim(%q) accepted", spec)
+		}
+	}
+}
+
+// TestPlanForBatch: faults land on exactly their scheduled batches.
+func TestPlanForBatch(t *testing.T) {
+	cfg := CosimConfig{KillEvery: 3, HangBatch: 2, GarbageBatch: 4, SlowBatch: 5, SlowSec: 0.1}
+	for n, want := range map[int]CosimPlan{
+		1: {},
+		2: {Hang: true, HangSec: 3600},
+		3: {Kill: true},
+		4: {Garbage: true},
+		5: {SlowSec: 0.1},
+		6: {Kill: true},
+	} {
+		if got := cfg.PlanForBatch(n); got != want {
+			t.Errorf("PlanForBatch(%d) = %+v, want %+v", n, got, want)
+		}
+	}
+	// The zero config never injects: batch 0 quirks must not trigger
+	// zero-valued schedule fields.
+	var zero CosimConfig
+	for n := 0; n < 5; n++ {
+		if got := zero.PlanForBatch(n); got != (CosimPlan{}) {
+			t.Errorf("zero config injects at batch %d: %+v", n, got)
+		}
+	}
+	one := CosimConfig{KillBatch: 1}
+	if !one.PlanForBatch(1).Kill || one.PlanForBatch(2).Kill {
+		t.Error("kill_batch=1 schedule wrong")
+	}
+}

@@ -40,6 +40,17 @@ func (m *Model) Reset() { m.current = Footprint{} }
 // first-order lag (time constant ~2s for growth, ~6s for reclaim) and
 // returns the resulting state.
 func (m *Model) Step(target Footprint, dt float64) Result {
+	res, next := StepFrom(m.hw, m.current, target, dt)
+	m.current = next
+	return res
+}
+
+// StepFrom is the pure function behind Model.Step: it advances cur toward
+// target over dt and returns the resulting state plus the new residency.
+// Exposed so external timing models (cmd/mbtiming, the cosim supervisor's
+// degradation fallback) compute bit-identical results to the in-process
+// model from explicitly threaded state.
+func StepFrom(hw soc.Memory, cur, target Footprint, dt float64) (Result, Footprint) {
 	lag := func(cur, tgt float64) float64 {
 		tau := 2.0
 		if tgt < cur {
@@ -51,21 +62,21 @@ func (m *Model) Step(target Footprint, dt float64) Result {
 		}
 		return cur + alpha*(tgt-cur)
 	}
-	m.current.CPUHeapMB = lag(m.current.CPUHeapMB, target.CPUHeapMB)
-	m.current.GPUMB = lag(m.current.GPUMB, target.GPUMB)
-	m.current.MediaMB = lag(m.current.MediaMB, target.MediaMB)
+	cur.CPUHeapMB = lag(cur.CPUHeapMB, target.CPUHeapMB)
+	cur.GPUMB = lag(cur.GPUMB, target.GPUMB)
+	cur.MediaMB = lag(cur.MediaMB, target.MediaMB)
 
-	used := m.hw.IdleOSMB + m.current.Total()
-	if used > m.hw.TotalMB {
-		used = m.hw.TotalMB
+	used := hw.IdleOSMB + cur.Total()
+	if used > hw.TotalMB {
+		used = hw.TotalMB
 	}
 	return Result{
 		UsedMB:         used,
-		UsedFrac:       used / m.hw.TotalMB,
-		WorkloadMB:     m.current.Total(),
-		WorkloadFrac:   m.current.Total() / m.hw.TotalMB,
-		FootprintByUse: m.current,
-	}
+		UsedFrac:       used / hw.TotalMB,
+		WorkloadMB:     cur.Total(),
+		WorkloadFrac:   cur.Total() / hw.TotalMB,
+		FootprintByUse: cur,
+	}, cur
 }
 
 // Result is the memory state over a tick.
@@ -113,6 +124,14 @@ func NewStorage(hw soc.Storage) *Storage { return &Storage{hw: hw} }
 
 // Step services the demand for dt seconds.
 func (s *Storage) Step(d IODemand, dt float64) IOResult {
+	return ServiceIO(s.hw, d, dt)
+}
+
+// ServiceIO is the pure function behind Storage.Step: one tick of storage
+// service against the platform's rated throughput. The storage model is
+// stateless, so this is the whole model; external timing backends call it
+// to reproduce the in-process path bit-for-bit.
+func ServiceIO(hw soc.Storage, d IODemand, dt float64) IOResult {
 	clamp := func(v float64) float64 {
 		if v > 1 {
 			return 1
@@ -122,10 +141,10 @@ func (s *Storage) Step(d IODemand, dt float64) IOResult {
 		}
 		return v
 	}
-	seqR := clamp(d.SeqReadMBs / s.hw.SeqReadMBs)
-	seqW := clamp(d.SeqWriteMBs / s.hw.SeqWriteMBs)
-	rndR := clamp(d.RandReadIOPS / s.hw.RandReadIOPS)
-	rndW := clamp(d.RandWriteIOPS / s.hw.RandWriteIOPS)
+	seqR := clamp(d.SeqReadMBs / hw.SeqReadMBs)
+	seqW := clamp(d.SeqWriteMBs / hw.SeqWriteMBs)
+	rndR := clamp(d.RandReadIOPS / hw.RandReadIOPS)
+	rndW := clamp(d.RandWriteIOPS / hw.RandWriteIOPS)
 	db := clamp(d.DatabaseOpsPerSec / 50000)
 
 	util := seqR

@@ -174,9 +174,29 @@ func (s *Server) execute(ctx context.Context, job *Job) (json.RawMessage, error)
 // from everything previously persisted and produces the same bytes an
 // undisturbed execution would.
 func ExecuteSpec(ctx context.Context, sp Spec, checkpointPath string) (json.RawMessage, error) {
+	return ExecuteSpecWith(ctx, sp, checkpointPath, ExecOptions{})
+}
+
+// ExecOptions carries process-level execution dependencies a spec cannot
+// name: configuration of the process running the job, not of the job.
+type ExecOptions struct {
+	// Timing routes the collection's memory/storage timing through an
+	// external co-simulated model (nil = in-process). A non-exact model
+	// changes the checkpoint fingerprint — and with it CacheKey — so a
+	// fleet must run every worker with the same timing configuration, or
+	// jobs re-dispatched across differently-configured workers would
+	// refuse each other's snapshots.
+	Timing sim.TimingProvider
+}
+
+// ExecuteSpecWith is ExecuteSpec with process-level execution options.
+func ExecuteSpecWith(ctx context.Context, sp Spec, checkpointPath string, eo ExecOptions) (json.RawMessage, error) {
 	opts, err := specOptions(sp, checkpointPath)
 	if err != nil {
 		return nil, err
+	}
+	if eo.Timing != nil {
+		opts.Sim.Timing = eo.Timing
 	}
 	ds, err := core.CollectContext(ctx, opts)
 	if err != nil {

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+
 	"mobilebench/internal/mem"
 	"mobilebench/internal/power"
 	"mobilebench/internal/profiler"
@@ -435,8 +437,8 @@ type ffSpan struct {
 // inputs, cumulative counters advance at the window-mean rate, and the
 // evolving metric set is emitted per tick while everything frozen was
 // tiled up front.
-func runSpan(sp *ffSpan, rng *xrand.Rand, pm *power.Model, tm *thermal.Model, mm *mem.Model,
-	em *tickEmitter, agg *Aggregates, totInstr, totCycles, totCacheMiss, totBranchMiss *float64) {
+func runSpan(sp *ffSpan, rng *xrand.Rand, pm *power.Model, tm *thermal.Model, timing TimingModel,
+	em *tickEmitter, agg *Aggregates, totInstr, totCycles, totCacheMiss, totBranchMiss *float64) error {
 	em.fillFrozen(sp.k, sp.last, sp.p)
 
 	for i := 1; i <= sp.k; i++ {
@@ -445,7 +447,10 @@ func runSpan(sp *ffSpan, rng *xrand.Rand, pm *power.Model, tm *thermal.Model, mm
 		in := &sp.ring[(sp.last-sp.p+1+(i-1)%sp.p)%ffMaxPeriod]
 
 		rng.SkipNorm(sp.jitterDraws)
-		memRes := mm.Step(in.footprint, sp.dt)
+		memRes, err := timing.MemStep(in.footprint, sp.dt)
+		if err != nil {
+			return fmt.Errorf("sim: timing model in fast-forward span: %w", err)
+		}
 		pm.Step(in.powerIn)
 		th := tm.Step(in.heat, sp.dt)
 
@@ -492,4 +497,5 @@ func runSpan(sp *ffSpan, rng *xrand.Rand, pm *power.Model, tm *thermal.Model, mm
 			agg.PeakUsedMemMB = memRes.UsedMB
 		}
 	}
+	return nil
 }

@@ -91,6 +91,11 @@ type Config struct {
 	// statistics (Result.Trace is nil), TraceAuto the analysis layer's
 	// metric subset as a trace plus summaries for everything.
 	TraceMode TraceMode
+	// Timing supplies the memory/storage timing backend. nil (the default)
+	// selects the in-process analytic models, bit-identical to the engine
+	// before the seam existed; internal/cosim provides a supervised
+	// external-process backend.
+	Timing TimingProvider
 }
 
 // TraceMode selects how much of the per-tick counter stream a run keeps.
@@ -203,8 +208,7 @@ type runModels struct {
 	thermalM *thermal.Model
 	gpuM     *gpu.Model
 	aieM     *aie.Model
-	memM     *mem.Model
-	ioM      *mem.Storage
+	timingM  TimingModel
 }
 
 // newRunModels builds a fresh model set for one run.
@@ -232,6 +236,16 @@ func (e *Engine) newRunModels() (*runModels, error) {
 			pred: branch.NewTournament(14, 14),
 		})
 	}
+	var timing TimingModel
+	if e.cfg.Timing != nil {
+		t, err := e.cfg.Timing.NewTimingModel(e.plat.Memory, e.plat.Storage)
+		if err != nil {
+			return nil, err
+		}
+		timing = t
+	} else {
+		timing = newAnalyticTiming(e.plat.Memory, e.plat.Storage)
+	}
 	return &runModels{
 		l3: l3, slc: slc, clusters: clusters, scheduler: sched.NewEAS(e.plat),
 		powerM:   power.NewModel(power.DefaultCoefficients()),
@@ -239,10 +253,9 @@ func (e *Engine) newRunModels() (*runModels, error) {
 		// The GPU model's texture RNG is per-run; runWith re-seeds it via
 		// ResetSeed before the first tick, so the placeholder stream here is
 		// never consumed.
-		gpuM: gpu.NewModel(e.plat.GPU, e.plat.Display, xrand.New(1)),
-		aieM: aie.NewModel(e.plat.AIE),
-		memM: mem.NewModel(e.plat.Memory),
-		ioM:  mem.NewStorage(e.plat.Storage),
+		gpuM:    gpu.NewModel(e.plat.GPU, e.plat.Display, xrand.New(1)),
+		aieM:    aie.NewModel(e.plat.AIE),
+		timingM: timing,
 	}, nil
 }
 
@@ -269,14 +282,13 @@ func (m *runModels) reset(cfg Config) error {
 		cs.phaseIdx = -1
 	}
 	// Auxiliary models carry only accumulators and first-order state; their
-	// Resets restore the exact just-constructed state (the storage model is
-	// stateless). The GPU model is re-seeded per run by runWith instead,
-	// because its reset needs the run's RNG stream.
+	// Resets restore the exact just-constructed state. The GPU model is
+	// re-seeded per run by runWith instead, because its reset needs the
+	// run's RNG stream.
 	m.powerM.Reset()
 	m.thermalM.Reset()
 	m.aieM.Reset()
-	m.memM.Reset()
-	return nil
+	return m.timingM.Reset()
 }
 
 // acquireModels pops a pooled model set (resetting it) or builds one.
@@ -445,6 +457,13 @@ type Result struct {
 	// (the historical default, where the Trace carries everything).
 	Summary *profiler.Summary
 	Agg     Aggregates
+	// TimingNotes and TimingDegraded report the timing backend's health
+	// over this run (restarts, circuit-break degradation to the in-process
+	// model) when Config.Timing implements TimingReporter. They describe
+	// the measuring process, not the measurement: checkpoints do not
+	// persist them, so restored runs carry none.
+	TimingNotes    []string
+	TimingDegraded bool
 }
 
 type clusterState struct {
@@ -525,8 +544,7 @@ func (e *Engine) runWith(ctx context.Context, w workload.Workload, run int, mode
 	thermalModel := models.thermalM
 	gpuModel := models.gpuM
 	aieModel := models.aieM
-	memModel := models.memM
-	ioModel := models.ioM
+	timingModel := models.timingM
 	// Re-seed the pooled GPU model with this run's stream; Split leaves the
 	// parent untouched, so the derivation point does not matter.
 	gpuModel.ResetSeed(rng.Split(0x91))
@@ -794,8 +812,10 @@ func (e *Engine) runWith(ctx context.Context, w workload.Workload, run int, mode
 		aieRes := aieModel.Step(phase.AIE, cfg.TickSec)
 		footprint := phase.Mem
 		footprint.GPUMB += phase.GPU.TextureWorkingSetMB
-		memRes := memModel.Step(footprint, cfg.TickSec)
-		ioRes := ioModel.Step(phase.IO, cfg.TickSec)
+		memRes, ioRes, err := timingModel.Step(footprint, phase.IO, cfg.TickSec)
+		if err != nil {
+			return nil, fmt.Errorf("sim: timing model at tick %d: %w", tick, err)
+		}
 
 		prevGPU, prevAIE, prevIO = gpuRes, aieRes, ioRes
 
@@ -938,8 +958,10 @@ func (e *Engine) runWith(ctx context.Context, w workload.Workload, run int, mode
 						totalMemMB:  e.plat.Memory.TotalMB,
 					}
 					sp.ipc, sp.cachePI, sp.branchPI = ff.rates()
-					runSpan(&sp, rng, powerModel, thermalModel, memModel,
-						&em, &agg, &totInstr, &totCycles, &totCacheMiss, &totBranchMiss)
+					if err := runSpan(&sp, rng, powerModel, thermalModel, timingModel,
+						&em, &agg, &totInstr, &totCycles, &totCacheMiss, &totBranchMiss); err != nil {
+						return nil, err
+					}
 					tick += k
 					if err := ctx.Err(); err != nil {
 						return nil, err
@@ -993,7 +1015,11 @@ func (e *Engine) runWith(ctx context.Context, w workload.Workload, run int, mode
 			plan.Corrupt(tr)
 		}
 	}
-	return &Result{Workload: w.Name, Trace: tr, Summary: sum, Agg: agg}, nil
+	res := &Result{Workload: w.Name, Trace: tr, Summary: sum, Agg: agg}
+	if rep, ok := timingModel.(TimingReporter); ok {
+		res.TimingNotes, res.TimingDegraded = rep.TimingReport()
+	}
+	return res, nil
 }
 
 // skewAgg scales the intensity aggregates of a run by f, leaving the

@@ -13,6 +13,15 @@
 #      fleet's kill-9-interrupted result is byte-identical to it.
 set -euo pipefail
 
+# Hard timeout guard: the whole smoke test must finish inside
+# $MBSMOKE_TIMEOUT seconds (default 300) or be killed — a wedged fleet has
+# to fail CI loudly instead of hanging the job until the runner reaps it.
+# The script re-execs itself under coreutils timeout; the TERM trap below
+# dumps diagnostics before dying so the expiry is debuggable from the log.
+if [ -z "${MBSMOKE_GUARDED:-}" ]; then
+  MBSMOKE_GUARDED=1 exec timeout --kill-after=15 "${MBSMOKE_TIMEOUT:-300}" "$0" "$@"
+fi
+
 BIN=${1:?usage: mbserved-fleet-smoke.sh path/to/mbserved}
 ADDR=127.0.0.1:8090
 BASE=http://$ADDR
@@ -22,6 +31,17 @@ CACHE=$STATE/cache
 LOG=$STATE/coordinator.log
 SPEC='{"kind":"characterize","units":["Antutu Mem"],"runs":2,"workers":1,"inject":"hang=1,hang_sec=2,clean_after=-1"}'
 trap 'kill $(jobs -p) 2>/dev/null || true; cat "$LOG" "$STATE"/w*.log 2>/dev/null || true' EXIT
+
+# Expiry diagnostics: when the timeout guard TERMs us, say where the fleet
+# was stuck (processes, job table, logs) before the EXIT trap cleans up.
+on_timeout() {
+  echo "FAIL: smoke test exceeded ${MBSMOKE_TIMEOUT:-300}s; dumping diagnostics" >&2
+  jobs -l >&2 || true
+  curl -fsS --max-time 2 "$BASE/jobs" >&2 || true
+  echo >&2
+  exit 124
+}
+trap on_timeout TERM
 
 wait_http() { # wait_http URL SECONDS
   for _ in $(seq 1 $((10 * $2))); do
