@@ -74,6 +74,9 @@ func main() {
 	if err := tf.Validate(); err != nil {
 		fatal(err)
 	}
+	if *coordinator != "" && tf.ReplayDir != "" {
+		fatal(errors.New("-timing-replay is worker configuration; a coordinator never executes jobs"))
+	}
 
 	if *pprofAddr != "" {
 		// A separate listener keeps the debug surface off the job API's
@@ -86,15 +89,14 @@ func main() {
 		}()
 	}
 
-	timing, err := tf.Provider(nil)
-	if err != nil {
-		fatal(err)
-	}
-	if timing != nil {
-		defer timing.Close()
-	}
-
 	if *workerAddr != "" {
+		timing, err := tf.Provider(nil)
+		if err != nil {
+			fatal(err)
+		}
+		if timing != nil {
+			defer timing.Close()
+		}
 		runWorker(*workerAddr, *workerID, *capacity, *heartbeat, timing)
 		return
 	}
@@ -107,14 +109,34 @@ func main() {
 		DrainGrace:    *drainGrace,
 		CacheDir:      *cacheDir,
 	}
-	if timing != nil {
+	if *coordinator == "" {
 		// Single-process mode executes jobs in this process, so the
-		// external model plugs in through the Execute hook. (A coordinator
-		// below overwrites this: it dispatches to workers, and timing is
-		// each worker's own -timing-model.)
-		cfg.Execute = func(ctx context.Context, id string, spec server.Spec, checkpointPath string) (json.RawMessage, error) {
-			return server.ExecuteSpecWith(ctx, spec, checkpointPath, server.ExecOptions{Timing: timing})
+		// external model plugs in through the Execute hook and its identity
+		// into the cache keys.
+		timing, err := tf.Provider(nil)
+		if err != nil {
+			fatal(err)
 		}
+		if timing != nil {
+			defer timing.Close()
+			cfg.TimingFingerprint = timing.Fingerprint()
+			cfg.Execute = func(ctx context.Context, id string, spec server.Spec, checkpointPath string) (json.RawMessage, error) {
+				return server.ExecuteSpecWith(ctx, spec, checkpointPath, server.ExecOptions{Timing: timing})
+			}
+		}
+	} else {
+		// A coordinator dispatches specs to workers and never executes one
+		// itself, so it keeps no timing child of its own. It still probes
+		// -timing-model once (spawn, handshake, close) for the fleet's
+		// timing identity: the cache and coalescing keys must carry the
+		// same fingerprint the workers' collections do, or a persistent
+		// -cache-dir would serve one timing configuration's bytes under
+		// another. Workers must be started with the same -timing-model.
+		fp, err := tf.Fingerprint(nil)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.TimingFingerprint = fp
 	}
 
 	var coord *dist.Coordinator

@@ -2,19 +2,72 @@ package cliflag
 
 import (
 	"flag"
+	"fmt"
 	"io"
+	"os"
 	"reflect"
 	"testing"
 	"time"
 
 	"mobilebench/internal/core"
+	"mobilebench/internal/cosim"
 	"mobilebench/internal/fault"
 )
+
+// TestMain doubles as the external timing-model child (the cosim re-exec
+// pattern): with MBCOSIM_CHILD=1 the test binary serves the cosim protocol
+// on its stdin/stdout, so Timing.Provider/Fingerprint can spawn a real
+// child without building cmd/mbtiming.
+func TestMain(m *testing.M) {
+	if os.Getenv("MBCOSIM_CHILD") == "1" {
+		if err := cosim.Serve(os.Stdin, os.Stdout, cosim.ServeOptions{Model: os.Getenv("MBCOSIM_MODEL")}); err != nil {
+			fmt.Fprintln(os.Stderr, "cosim child:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func newFlagSet() *flag.FlagSet {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	return fs
+}
+
+// TestTimingFingerprintProbe: Fingerprint spawns the model once, reads its
+// identity and closes it — "" with no model configured, "" for an exact
+// child (shares the in-process identity), "cosim:<model>" otherwise. The
+// coordinator folds this value into its cache keys, so it must match what
+// worker collections fingerprint.
+func TestTimingFingerprintProbe(t *testing.T) {
+	var tm Timing
+	fp, err := tm.Fingerprint(nil)
+	if err != nil || fp != "" {
+		t.Fatalf("unconfigured Fingerprint = (%q, %v), want (\"\", nil)", fp, err)
+	}
+
+	// The spawned child is this test binary re-exec'd; it inherits the
+	// parent environment, which t.Setenv steers.
+	t.Setenv("MBCOSIM_CHILD", "1")
+	t.Setenv("MBCOSIM_MODEL", cosim.ModelQDRAM)
+	tm = Timing{ModelCmd: os.Args[0]}
+	fp, err = tm.Fingerprint(nil)
+	if err != nil {
+		t.Fatalf("Fingerprint(qdram): %v", err)
+	}
+	if want := "cosim:" + cosim.ModelQDRAM; fp != want {
+		t.Fatalf("qdram Fingerprint = %q, want %q", fp, want)
+	}
+
+	t.Setenv("MBCOSIM_MODEL", cosim.ModelAnalytic)
+	fp, err = tm.Fingerprint(nil)
+	if err != nil {
+		t.Fatalf("Fingerprint(analytic): %v", err)
+	}
+	if fp != "" {
+		t.Fatalf("exact analytic child Fingerprint = %q, want \"\" (shares the in-process identity)", fp)
+	}
 }
 
 func TestResilienceFlagParsing(t *testing.T) {

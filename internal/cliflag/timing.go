@@ -55,6 +55,26 @@ func (t *Timing) Validate() error {
 // sim.Config.Timing nil rather than storing a typed nil interface. Close
 // the provider after the collection.
 func (t *Timing) Provider(plat *soc.Platform) (*cosim.Provider, error) {
+	return t.provider(plat, true)
+}
+
+// Fingerprint probes the configured model for its timing identity — the
+// sim.TimingProvider.Fingerprint() value collections under it carry — by
+// spawning the child, completing the handshake and closing it again. It
+// returns "" when -timing-model is unset, and for an exact model (which
+// shares the in-process identity). Coordinator-mode mbserved uses it to
+// fold the fleet's timing identity into cache keys without keeping a
+// long-lived child of its own: a coordinator never executes specs.
+func (t *Timing) Fingerprint(plat *soc.Platform) (string, error) {
+	p, err := t.provider(plat, false)
+	if err != nil || p == nil {
+		return "", err
+	}
+	defer p.Close()
+	return p.Fingerprint(), nil
+}
+
+func (t *Timing) provider(plat *soc.Platform, withReplay bool) (*cosim.Provider, error) {
 	if t.ModelCmd == "" {
 		return nil, nil
 	}
@@ -67,7 +87,7 @@ func (t *Timing) Provider(plat *soc.Platform) (*cosim.Provider, error) {
 		StorHW:  plat.Storage,
 		Stderr:  os.Stderr,
 	}
-	if t.ReplayDir != "" {
+	if withReplay && t.ReplayDir != "" {
 		if err := os.MkdirAll(t.ReplayDir, 0o755); err != nil {
 			return nil, err
 		}

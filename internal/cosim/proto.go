@@ -81,6 +81,12 @@ type Reply struct {
 	IO *mem.IOResult `json:"io,omitempty"`
 	// State is the model state to thread into the kind's next query.
 	State json.RawMessage `json:"state,omitempty"`
+	// Degraded marks a reply computed by the supervisor's in-process
+	// fallback instead of the child. It is supervisor provenance, not wire
+	// data — the supervisor clears it on every child reply — but it
+	// persists in the replay log, so a logged fallback reply keeps its
+	// degraded provenance when a later (healthy) run replays it.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Frame is one protocol message. Which fields are meaningful depends on

@@ -118,7 +118,12 @@ type child struct {
 // Supervisor runs and guards one external timing process. All exchanges are
 // serialized: the child answers one batch at a time, which keeps the
 // failure attribution trivial (an unexpected or missing frame always
-// belongs to the in-flight batch). Safe for concurrent use.
+// belongs to the in-flight batch). Safe for concurrent use — but note that
+// the serialization means a slow child stalls every session sharing the
+// supervisor for up to QueryTimeout per batch. The recovery path does not
+// compound that: restart backoff sleeps and replacement handshakes release
+// the lock (see restartUnlocking), so a sick child never blocks the status
+// accessors or other sessions for multiple seconds per strike.
 type Supervisor struct {
 	cfg Config
 	log *ReplayLog
@@ -156,9 +161,11 @@ func NewSupervisor(cfg Config) (*Supervisor, error) {
 			return nil, err
 		}
 	}
-	if err := s.spawnLocked(); err != nil {
+	c, model, exact, err := s.spawn("", false)
+	if err != nil {
 		return nil, err
 	}
+	s.c, s.model, s.exact = c, model, exact
 	return s, nil
 }
 
@@ -228,6 +235,12 @@ func (s *Supervisor) Exchange(queries []Query) ([]Reply, ExchangeInfo, error) {
 		if err := json.Unmarshal(raw, &r); err != nil {
 			return nil, info, &LogError{Path: s.cfg.ReplayPath, Reason: "logged reply undecodable: " + err.Error()}
 		}
+		if r.Degraded {
+			// A logged fallback-computed reply keeps its provenance on
+			// replay: this run's data is partly analytic-fallback bytes even
+			// if this supervisor's own circuit never opened.
+			info.Degraded = true
+		}
 		out[i] = r
 	}
 	if len(missing) == 0 {
@@ -242,7 +255,6 @@ func (s *Supervisor) Exchange(queries []Query) ([]Reply, ExchangeInfo, error) {
 		return nil, info, err
 	}
 	for j, i := range missing {
-		out[i] = reps[j]
 		raw, merr := json.Marshal(reps[j])
 		if merr != nil {
 			return nil, info, &ProtoError{Reason: "unencodable reply: " + merr.Error()}
@@ -250,14 +262,37 @@ func (s *Supervisor) Exchange(queries []Query) ([]Reply, ExchangeInfo, error) {
 		if err := s.log.Put(keys[i], raw); err != nil {
 			return nil, info, err
 		}
+		// The log wins ties: a restart wait releases the lock, so a
+		// concurrent session may have answered (and logged) the same query
+		// first. Every session must return the bytes a resume would replay —
+		// the first write — not its own re-computation.
+		if logged, ok := s.log.Get(keys[i]); ok {
+			var r Reply
+			if err := json.Unmarshal(logged, &r); err != nil {
+				return nil, info, &LogError{Path: s.cfg.ReplayPath, Reason: "logged reply undecodable: " + err.Error()}
+			}
+			if r.Degraded {
+				info.Degraded = true
+			}
+			out[i] = r
+		} else {
+			out[i] = reps[j] // replay logging disabled
+		}
 	}
 	return out, info, nil
 }
 
 // askLocked obtains replies for queries the log could not answer, driving
-// the strike/restart/circuit state machine until it has them.
+// the strike/restart/circuit state machine until it has them. s.mu is held
+// on entry and on every return, but restarts release it around their waits,
+// so each iteration re-reads the shared state from scratch (the circuit may
+// have opened, a replacement child may have appeared, or the supervisor may
+// have been closed while this goroutine slept).
 func (s *Supervisor) askLocked(queries []Query, info *ExchangeInfo) ([]Reply, error) {
 	for {
+		if s.closed {
+			return nil, fmt.Errorf("cosim: supervisor closed mid-exchange")
+		}
 		if s.open {
 			info.Degraded = true
 			reps := make([]Reply, len(queries))
@@ -266,12 +301,13 @@ func (s *Supervisor) askLocked(queries []Query, info *ExchangeInfo) ([]Reply, er
 				if err != nil {
 					return nil, err
 				}
+				r.Degraded = true
 				reps[i] = r
 			}
 			return reps, nil
 		}
 		if s.c == nil {
-			if err := s.restartLocked(info); err != nil {
+			if err := s.restartUnlocking(info); err != nil {
 				// A skewed or rejected handshake on restart is permanent —
 				// the replacement child speaks a different protocol (say, a
 				// binary upgraded under us), and no amount of respawning
@@ -314,9 +350,15 @@ func (s *Supervisor) openCircuitLocked(info *ExchangeInfo, cause error) {
 		fmt.Sprintf("cosim: circuit opened after %d strikes, degrading to the in-process analytic models: %v", s.strikes, cause))
 }
 
-// restartLocked waits the capped deterministically-jittered backoff and
-// spawns a fresh child.
-func (s *Supervisor) restartLocked(info *ExchangeInfo) error {
+// restartUnlocking waits the capped deterministically-jittered backoff and
+// spawns a fresh child. The backoff sleep and the replacement's handshake —
+// the two multi-second waits on the recovery path — run with s.mu released,
+// so a sick child cannot stall concurrent sessions or the status accessors;
+// after reacquiring, the shared state is revalidated (another session may
+// have recovered, opened the circuit, or Close()d the supervisor first) and
+// a child that lost the race is discarded. s.mu is held again on every
+// return path.
+func (s *Supervisor) restartUnlocking(info *ExchangeInfo) error {
 	d := s.cfg.BackoffBase
 	for i := 0; i < s.restarts && d < s.cfg.BackoffCap; i++ {
 		d *= 2
@@ -329,18 +371,34 @@ func (s *Supervisor) restartLocked(info *ExchangeInfo) error {
 	// collection pipeline.
 	rng := xrand.New(s.cfg.Seed).Split(0xc0517).Split(uint64(s.restarts) + 1)
 	d = time.Duration(float64(d) * (0.5 + rng.Float64()))
-	t := time.NewTimer(d)
-	<-t.C
 	s.restarts++
-	if err := s.spawnLocked(); err != nil {
+	attempt := s.restarts
+	pinModel, pinExact := s.model, s.exact
+	s.mu.Unlock()
+	time.Sleep(d)
+	c, model, exact, err := s.spawn(pinModel, pinExact)
+	s.mu.Lock()
+	if s.closed || s.open || s.c != nil {
+		// Lost the race: the caller's loop re-reads the new state; our own
+		// child (if it came up) is surplus.
+		if err == nil {
+			killChild(c)
+		}
+		return nil
+	}
+	if err != nil {
 		return err
 	}
-	info.Notes = append(info.Notes, fmt.Sprintf("cosim: restarted %s (restart %d)", s.cfg.Command[0], s.restarts))
+	s.c, s.model, s.exact = c, model, exact
+	info.Notes = append(info.Notes, fmt.Sprintf("cosim: restarted %s (restart %d)", s.cfg.Command[0], attempt))
 	return nil
 }
 
-// spawnLocked starts the child process and completes the handshake.
-func (s *Supervisor) spawnLocked() error {
+// spawn starts a child process and completes the handshake, pinning the
+// model identity against (pinModel, pinExact) when a previous handshake set
+// them. Called without s.mu held (it can block up to the handshake timeout);
+// it touches only the immutable s.cfg, never the guarded state.
+func (s *Supervisor) spawn(pinModel string, pinExact bool) (*child, string, bool, error) {
 	cmd := exec.Command(s.cfg.Command[0], s.cfg.Command[1:]...)
 	if s.cfg.Env != nil {
 		cmd.Env = append(cmd.Environ(), s.cfg.Env...)
@@ -348,23 +406,23 @@ func (s *Supervisor) spawnLocked() error {
 	cmd.Stderr = s.cfg.Stderr
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
-		return fmt.Errorf("cosim: child stdin: %w", err)
+		return nil, "", false, fmt.Errorf("cosim: child stdin: %w", err)
 	}
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
-		return fmt.Errorf("cosim: child stdout: %w", err)
+		return nil, "", false, fmt.Errorf("cosim: child stdout: %w", err)
 	}
 	if err := cmd.Start(); err != nil {
-		return fmt.Errorf("cosim: starting %s: %w", s.cfg.Command[0], err)
+		return nil, "", false, fmt.Errorf("cosim: starting %s: %w", s.cfg.Command[0], err)
 	}
 	c := &child{cmd: cmd, stdin: stdin, lines: make(chan []byte, 4)}
 	go readLines(stdout, c.lines)
-	if err := s.handshakeLocked(c); err != nil {
+	model, exact, err := s.handshake(c, pinModel, pinExact)
+	if err != nil {
 		killChild(c)
-		return err
+		return nil, "", false, err
 	}
-	s.c = c
-	return nil
+	return c, model, exact, nil
 }
 
 // readLines pumps the child's stdout lines into the channel, closing it on
@@ -378,34 +436,34 @@ func readLines(r io.Reader, lines chan<- []byte) {
 	}
 }
 
-// handshakeLocked sends the hello and awaits a version-matching welcome
-// within the handshake deadline. Version skew and rejects return a
-// *SkewError (permanent); everything else is an ordinary failure the
-// strike/restart machinery may recover from.
-func (s *Supervisor) handshakeLocked(c *child) error {
+// handshake sends the hello and awaits a version-matching welcome within
+// the handshake deadline, returning the child's announced (model, exact)
+// identity. Version skew and rejects return a *SkewError (permanent);
+// everything else is an ordinary failure the strike/restart machinery may
+// recover from. Called without s.mu held.
+func (s *Supervisor) handshake(c *child, pinModel string, pinExact bool) (string, bool, error) {
 	memHW, storHW := s.cfg.MemHW, s.cfg.StorHW
 	hello := Frame{Type: TypeHello, Proto: ProtoVersion, Memory: &memHW, Storage: &storHW}
 	f, err := s.roundTrip(c, hello, s.cfg.HandshakeTimeout)
 	if err != nil {
-		return err
+		return "", false, err
 	}
 	switch f.Type {
 	case TypeWelcome:
 		if f.Proto != ProtoVersion {
-			return &SkewError{Reason: fmt.Sprintf("child speaks protocol %d, this build speaks %d", f.Proto, ProtoVersion)}
+			return "", false, &SkewError{Reason: fmt.Sprintf("child speaks protocol %d, this build speaks %d", f.Proto, ProtoVersion)}
 		}
-		if s.model != "" && (s.model != f.Model || s.exact != f.Exact) {
+		if pinModel != "" && (pinModel != f.Model || pinExact != f.Exact) {
 			// The model identity is pinned at construction; a restarted
 			// child announcing a different model would silently change the
 			// dataset mid-run.
-			return &SkewError{Reason: fmt.Sprintf("child model changed from %q to %q across restart", s.model, f.Model)}
+			return "", false, &SkewError{Reason: fmt.Sprintf("child model changed from %q to %q across restart", pinModel, f.Model)}
 		}
-		s.model, s.exact = f.Model, f.Exact
-		return nil
+		return f.Model, f.Exact, nil
 	case TypeReject:
-		return &SkewError{Reason: "child rejected the handshake: " + f.Error}
+		return "", false, &SkewError{Reason: "child rejected the handshake: " + f.Error}
 	default:
-		return &ProtoError{Reason: fmt.Sprintf("expected welcome, got %q", f.Type)}
+		return "", false, &ProtoError{Reason: fmt.Sprintf("expected welcome, got %q", f.Type)}
 	}
 }
 
@@ -437,6 +495,9 @@ func (s *Supervisor) exchangeOnceLocked(queries []Query) ([]Reply, error) {
 				return nil, &ProtoError{Reason: fmt.Sprintf("reply %d misses the io result", i)}
 			}
 		}
+		// The degraded marker is supervisor provenance, not wire data: a
+		// child cannot declare its own replies fallback-computed.
+		f.Replies[i].Degraded = false
 	}
 	return f.Replies, nil
 }

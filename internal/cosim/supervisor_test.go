@@ -314,6 +314,49 @@ func TestSupervisorReplayLogReuse(t *testing.T) {
 	}
 }
 
+// TestSupervisorReplayKeepsDegradedProvenance: replies computed by the
+// circuit-break fallback are logged with their degraded marker, and a later
+// supervisor replaying them — even one whose own child is perfectly healthy
+// and whose circuit never opens — reports the replayed data as degraded.
+// Without this, a resumed run under a non-exact model would carry
+// analytic-fallback bytes while its provenance claimed a healthy child.
+func TestSupervisorReplayKeepsDegradedProvenance(t *testing.T) {
+	replay := filepath.Join(t.TempDir(), "replay.log")
+	qs, want := distinctQueries(2)
+
+	// First life: every batch kills the child, the circuit opens, and the
+	// fallback's replies land in the log.
+	cfg := childConfig("", "kill_every=1")
+	cfg.ReplayPath = replay
+	cfg.MaxStrikes = 1
+	sup := newSupervisor(t, cfg)
+	info := exchangeOne(t, sup, qs[0], want[0])
+	if !info.Degraded {
+		t.Fatalf("fallback exchange not degraded: %+v", info)
+	}
+	if err := sup.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Second life: healthy child, same log. The logged query must replay
+	// with its degraded provenance intact; a fresh query answered by the
+	// live child must stay clean.
+	cfg2 := childConfig("", "")
+	cfg2.ReplayPath = replay
+	sup2 := newSupervisor(t, cfg2)
+	info = exchangeOne(t, sup2, qs[0], want[0])
+	if !info.Degraded {
+		t.Fatal("replayed fallback reply lost its degraded provenance")
+	}
+	if sup2.Degraded() {
+		t.Fatal("replaying a degraded reply must not open the healthy supervisor's circuit")
+	}
+	info = exchangeOne(t, sup2, qs[1], want[1])
+	if info.Degraded || len(info.Notes) != 0 {
+		t.Fatalf("fresh child-answered exchange reported events: %+v", info)
+	}
+}
+
 // TestProviderPlatformMismatch: a session for different hardware than the
 // handshake pinned is refused.
 func TestProviderPlatformMismatch(t *testing.T) {

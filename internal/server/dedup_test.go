@@ -22,7 +22,7 @@ import (
 
 func TestCacheKeyNormalizesDefaults(t *testing.T) {
 	base := Spec{Kind: "characterize", Units: []string{shortUnit()}}
-	k1, err := base.CacheKey()
+	k1, err := base.CacheKey("")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestCacheKeyNormalizesDefaults(t *testing.T) {
 		{Kind: "characterize", Units: []string{shortUnit()}, TimeoutSec: 9},
 	}
 	for _, sp := range same {
-		k, err := sp.CacheKey()
+		k, err := sp.CacheKey("")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,7 +57,7 @@ func TestCacheKeyNormalizesDefaults(t *testing.T) {
 		{Kind: "characterize", Units: []string{shortUnit()}, MinRuns: 1},
 	}
 	for _, sp := range diff {
-		k, err := sp.CacheKey()
+		k, err := sp.CacheKey("")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,15 +66,15 @@ func TestCacheKeyNormalizesDefaults(t *testing.T) {
 		}
 	}
 	// The cluster kind's defaults normalize too.
-	c1, err := Spec{Kind: "cluster", Units: []string{shortUnit()}}.CacheKey()
+	c1, err := Spec{Kind: "cluster", Units: []string{shortUnit()}}.CacheKey("")
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := Spec{Kind: "cluster", Units: []string{shortUnit()}, K: 5, Algorithm: "kmeans"}.CacheKey()
+	c2, err := Spec{Kind: "cluster", Units: []string{shortUnit()}, K: 5, Algorithm: "kmeans"}.CacheKey("")
 	if err != nil {
 		t.Fatal(err)
 	}
-	c3, err := Spec{Kind: "cluster", Units: []string{shortUnit()}, K: 4}.CacheKey()
+	c3, err := Spec{Kind: "cluster", Units: []string{shortUnit()}, K: 4}.CacheKey("")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,6 +83,83 @@ func TestCacheKeyNormalizesDefaults(t *testing.T) {
 	}
 	if c1 == c3 || c1 == k1 {
 		t.Error("distinct cluster parameters share a key")
+	}
+}
+
+// TestCacheKeyTimingFingerprint: the serving process's timing-backend
+// identity splits the key — a persistent cache shared across servers with
+// different -timing-model configurations must never serve one
+// configuration's bytes under another — while the empty fingerprint (the
+// in-process models, or an exact external one) keys exactly as before.
+func TestCacheKeyTimingFingerprint(t *testing.T) {
+	base := Spec{Kind: "characterize", Units: []string{shortUnit()}}
+	plain, err := base.CacheKey("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qdram, err := base.CacheKey("cosim:qdram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qdram == plain {
+		t.Fatal("a non-exact timing fingerprint did not split the cache key")
+	}
+	other, err := base.CacheKey("cosim:other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == qdram || other == plain {
+		t.Fatal("distinct timing fingerprints share a key")
+	}
+	again, err := base.CacheKey("cosim:qdram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != qdram {
+		t.Fatal("equal timing fingerprints split the key")
+	}
+}
+
+// TestCacheIsolatedByTimingFingerprint shares one cache directory between
+// two servers whose Config.TimingFingerprint differs: the second server
+// must re-execute rather than answer from the first's entry.
+func TestCacheIsolatedByTimingFingerprint(t *testing.T) {
+	spec := Spec{Kind: "characterize", Units: []string{shortUnit()}, Runs: 1, Workers: 1}
+	cacheDir := t.TempDir()
+
+	fill := newTestServer(t, Config{CacheDir: cacheDir})
+	j1, err := fill.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, fill, j1.ID, StatusDone, 60*time.Second)
+	_ = fill.Shutdown(context.Background())
+
+	// Same cache dir, same spec, different timing identity: a hit here
+	// would serve in-process bytes as a qdram collection's result.
+	s := newTestServer(t, Config{CacheDir: cacheDir, TimingFingerprint: "cosim:qdram"})
+	defer s.Shutdown(context.Background())
+	var mu sync.Mutex
+	execs := 0
+	s.execHook = func(ctx context.Context, job *Job) (json.RawMessage, error) {
+		mu.Lock()
+		execs++
+		mu.Unlock()
+		return s.execute(ctx, job)
+	}
+	j2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitStatus(t, s, j2.ID, StatusDone, 60*time.Second)
+	if got.Cached {
+		t.Fatal("a differently-timed server answered from the shared cache")
+	}
+	mu.Lock()
+	n := execs
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("executions = %d, want 1 (the fingerprint must force a re-execution)", n)
 	}
 }
 

@@ -125,9 +125,9 @@ func specOptions(sp Spec, checkpointPath string) (core.Options, error) {
 
 // CacheKey returns the spec's content address: a hex key binding the
 // collection's canonical option string (seed, units, runs, simulator
-// configuration, fault plan, result-affecting retry knobs — the exact
-// pre-image the checkpoint fingerprint hashes) to the analysis kind and
-// its normalized parameters. Two specs with equal keys produce
+// configuration, fault plan, result-affecting retry knobs) to the
+// analysis kind, its normalized parameters, and the executing process's
+// timing-backend identity. Two specs with equal keys produce
 // byte-identical results, so the key is safe to answer from the cache or
 // to coalesce on. Execution-only knobs (Workers, TimeoutSec) are
 // deliberately excluded: they never change the bytes. The key is a
@@ -135,7 +135,19 @@ func specOptions(sp Spec, checkpointPath string) (core.Options, error) {
 // snapshot fingerprint — so distinct specs colliding into one cache
 // entry (and silently serving each other's bytes) is not a birthday
 // bound but a cryptographic one.
-func (sp Spec) CacheKey() (string, error) {
+//
+// timingFingerprint is the serving process's sim.TimingProvider
+// fingerprint ("" for the in-process models or an exact external one).
+// The timing backend is process configuration, not part of the spec —
+// specOptions leaves Sim.Timing nil, so the canonical string alone never
+// carries it — yet a non-exact model changes every collected byte. It is
+// therefore appended here exactly as collectCanonical renders it on the
+// executing side, so a persistent cache directory shared across servers
+// with different -timing-model configurations can never serve one
+// configuration's bytes under another. An empty fingerprint appends
+// nothing, keeping keys (and existing caches) identical to the
+// pre-timing format.
+func (sp Spec) CacheKey(timingFingerprint string) (string, error) {
 	opts, err := specOptions(sp, "")
 	if err != nil {
 		return "", err
@@ -157,7 +169,11 @@ func (sp Spec) CacheKey() (string, error) {
 			alg = "kmeans"
 		}
 	}
-	h := sha256.Sum256(fmt.Appendf(nil, "mbcache-v2|%s|kind=%s|k=%d|alg=%s|minruns=%d", canon, sp.Kind, k, alg, sp.MinRuns))
+	timing := ""
+	if timingFingerprint != "" {
+		timing = fmt.Sprintf("|timing=%q", timingFingerprint)
+	}
+	h := sha256.Sum256(fmt.Appendf(nil, "mbcache-v2|%s|kind=%s|k=%d|alg=%s|minruns=%d%s", canon, sp.Kind, k, alg, sp.MinRuns, timing))
 	return hex.EncodeToString(h[:]), nil
 }
 
@@ -182,10 +198,12 @@ func ExecuteSpec(ctx context.Context, sp Spec, checkpointPath string) (json.RawM
 type ExecOptions struct {
 	// Timing routes the collection's memory/storage timing through an
 	// external co-simulated model (nil = in-process). A non-exact model
-	// changes the checkpoint fingerprint — and with it CacheKey — so a
-	// fleet must run every worker with the same timing configuration, or
-	// jobs re-dispatched across differently-configured workers would
-	// refuse each other's snapshots.
+	// changes the checkpoint fingerprint, so a fleet must run every worker
+	// with the same timing configuration, or jobs re-dispatched across
+	// differently-configured workers would refuse each other's snapshots.
+	// It does not reach CacheKey by itself: the serving process must carry
+	// the same identity into its cache/coalescing keys through
+	// Config.TimingFingerprint.
 	Timing sim.TimingProvider
 }
 

@@ -72,6 +72,17 @@ type Config struct {
 	// coordinator mode reports false until at least one worker is
 	// connected.
 	Ready func() bool
+	// TimingFingerprint is the executing timing backend's identity
+	// (sim.TimingProvider.Fingerprint(); "" = the in-process models or an
+	// exact external one), folded into every cache and coalescing key. A
+	// non-exact external model changes every collected byte without
+	// appearing anywhere in the Spec, so a persistent CacheDir reused
+	// across processes with different -timing-model configurations would
+	// otherwise silently serve one configuration's bytes under another.
+	// Single-process mode sets it from its own provider; a coordinator
+	// sets it to its fleet's (every worker must share one timing
+	// configuration — see ExecOptions.Timing).
+	TimingFingerprint string
 }
 
 func (c Config) withDefaults() Config {
@@ -392,9 +403,10 @@ func (s *Server) runJob(job *Job) {
 
 	// The cache key addresses the result's content: the collection
 	// fingerprint (seed, units, simulator config, fault plan, retry
-	// policy) plus the analysis kind. Specs that fail to fingerprint
-	// (never, for a Validate-d spec) just skip deduplication.
-	key, keyErr := job.Spec.CacheKey()
+	// policy) plus the analysis kind and this server's timing-backend
+	// identity. Specs that fail to fingerprint (never, for a Validate-d
+	// spec) just skip deduplication.
+	key, keyErr := job.Spec.CacheKey(s.cfg.TimingFingerprint)
 	if keyErr == nil && s.cache != nil {
 		if data, ok := s.cache.Get(key); ok {
 			s.mu.Lock()
