@@ -1,23 +1,32 @@
-// Command mblint is mobilebench's invariant multichecker: five static
-// analysis passes (mapiterorder, nondeterm, atomicwrite, ctxloop, errwrap)
-// that machine-enforce the pipeline's determinism, atomic-I/O and
-// cancellation guarantees.
+// Command mblint is mobilebench's invariant multichecker: nine static
+// analysis passes (atomicwrite, ctxloop, errwrap, fpcomplete, goroleak,
+// mapiterorder, mutexhold, nondeterm, wireframe) that machine-enforce
+// the pipeline's determinism, atomic-I/O, cancellation, cache-key and
+// concurrency guarantees. Passes share cross-package function facts
+// (may-block, acquires-mutex, may-panic, fingerprint field reads), so a
+// blocking helper in one package is visible to callers in another.
 //
 // Standalone:
 //
-//	go run ./cmd/mblint ./...            # lint the whole module
-//	go run ./cmd/mblint -fix ./...       # also apply mechanical fixes
-//	go run ./cmd/mblint -list            # describe the passes
+//	go run ./cmd/mblint ./...              # lint the whole module
+//	go run ./cmd/mblint -fix ./...         # also apply mechanical fixes
+//	go run ./cmd/mblint -json ./...        # machine-readable findings on stdout
+//	go run ./cmd/mblint -sarif out.sarif ./...  # SARIF 2.1.0 for code scanning
+//	go run ./cmd/mblint -list              # describe the passes
 //
-// As a vet tool (speaks the cmd/go unitchecker protocol):
+// As a vet tool (speaks the cmd/go unitchecker protocol, including fact
+// serialization through .vetx files):
 //
 //	go build -o /tmp/mblint ./cmd/mblint
 //	go vet -vettool=/tmp/mblint ./...
 //
-// Exit status is 0 when the tree is clean, 2 when findings were reported
-// and 1 on operational errors. Findings are suppressed per line with
-// `//mblint:ignore <pass> <reason>` and per package via the -config JSON
-// (see internal/lint.Config).
+// Findings already recorded in the module's .mblint-baseline.json are
+// suppressed (use -baseline to point elsewhere, -baseline none to
+// disable, -write-baseline to accept the current findings). Exit status
+// is 0 when no fresh error-severity findings remain, 2 when some were
+// reported and 1 on operational errors. Findings are suppressed per
+// line with `//mblint:ignore <pass> <reason>` and per package via the
+// -config JSON (see internal/lint.Config).
 package main
 
 import (
@@ -26,8 +35,12 @@ import (
 	"os"
 	"path/filepath"
 
+	"mobilebench/internal/checkpoint"
 	"mobilebench/internal/lint"
 )
+
+// defaultBaselineName is the baseline file auto-detected at the module root.
+const defaultBaselineName = ".mblint-baseline.json"
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -38,6 +51,10 @@ func run(args []string) int {
 	configPath := fs.String("config", "", "JSON lint config overlaying the built-in policy (default: .mblint.json at the module root, if present)")
 	fix := fs.Bool("fix", false, "apply mechanical suggested fixes to the working tree")
 	list := fs.Bool("list", false, "describe the passes and exit")
+	jsonOut := fs.Bool("json", false, "print findings as JSON on stdout instead of text on stderr")
+	sarifPath := fs.String("sarif", "", "also write findings as SARIF 2.1.0 to this file")
+	baselinePath := fs.String("baseline", "", "baseline file of accepted findings (default: "+defaultBaselineName+" at the module root, if present; \"none\" disables)")
+	writeBaseline := fs.Bool("write-baseline", false, "record the current findings as the baseline and exit")
 	version := fs.String("V", "", "print version (vet tool protocol)")
 	printFlags := fs.Bool("flags", false, "print flag JSON (vet tool protocol)")
 	if err := fs.Parse(args); err != nil {
@@ -103,9 +120,57 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "mblint: %v\n", err)
 		return 1
 	}
-	lint.Print(os.Stderr, findings)
+
+	baseline := resolveBaselinePath(*baselinePath, moduleDir)
+	if *writeBaseline {
+		if baseline == "" {
+			fmt.Fprintln(os.Stderr, "mblint: -write-baseline needs a baseline path (-baseline none was given)")
+			return 1
+		}
+		if err := lint.WriteBaseline(baseline, findings, moduleDir); err != nil {
+			fmt.Fprintf(os.Stderr, "mblint: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "mblint: wrote %d finding(s) to %s\n", len(findings), baseline)
+		return 0
+	}
+	fresh := findings
+	if baseline != "" {
+		b, err := lint.LoadBaseline(baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mblint: %v\n", err)
+			return 1
+		}
+		var suppressed int
+		fresh, suppressed = b.Filter(findings, moduleDir)
+		if suppressed > 0 {
+			fmt.Fprintf(os.Stderr, "mblint: %d baselined finding(s) suppressed (see %s)\n", suppressed, baseline)
+		}
+	}
+
+	if *jsonOut {
+		data, err := lint.EncodeJSON(fresh, cfg, moduleDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mblint: %v\n", err)
+			return 1
+		}
+		os.Stdout.Write(data)
+	} else {
+		lint.Print(os.Stderr, fresh)
+	}
+	if *sarifPath != "" {
+		data, err := lint.EncodeSARIF(fresh, cfg, moduleDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mblint: %v\n", err)
+			return 1
+		}
+		if err := checkpoint.WriteFile(*sarifPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "mblint: writing SARIF: %v\n", err)
+			return 1
+		}
+	}
 	if *fix {
-		n, err := lint.ApplyFixes(findings)
+		n, err := lint.ApplyFixes(fresh)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mblint: applying fixes: %v\n", err)
 			return 1
@@ -114,10 +179,27 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "mblint: applied %d fix(es); re-run to verify\n", n)
 		}
 	}
-	if len(findings) > 0 {
-		return 2
+	for _, f := range fresh {
+		if cfg.SeverityOf(f.Pass) == "error" {
+			return 2
+		}
 	}
 	return 0
+}
+
+// resolveBaselinePath turns the -baseline flag into a concrete path:
+// explicit value wins ("none" disables), else the module-root default
+// applies — always for -write-baseline, and for reads whenever the file
+// exists.
+func resolveBaselinePath(explicit, moduleDir string) string {
+	switch explicit {
+	case "none":
+		return ""
+	case "":
+		return filepath.Join(moduleDir, defaultBaselineName)
+	default:
+		return explicit
+	}
 }
 
 // loadConfig resolves the lint config: an explicit -config path, else the

@@ -12,21 +12,28 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"mobilebench/internal/lint"
 )
 
 // vetConfig is the unit-check configuration cmd/go hands a vet tool: the
 // package's sources plus maps resolving its imports to compiled export
-// data. Field names follow cmd/go/internal/work's vetConfig verbatim.
+// data and serialized facts. Field names follow cmd/go/internal/work's
+// vetConfig verbatim.
 type vetConfig struct {
 	ID          string
 	Compiler    string
 	Dir         string
 	ImportPath  string
+	ModulePath  string
 	GoFiles     []string
 	ImportMap   map[string]string
 	PackageFile map[string]string
+	// PackageVetx maps import paths to the .vetx fact files earlier units
+	// of this vet invocation produced; VetxOutput is where this unit's own
+	// facts go. This is how cross-package facts travel between processes.
+	PackageVetx map[string]string
 	Standard    map[string]bool
 	VetxOnly    bool
 	VetxOutput  string
@@ -36,7 +43,8 @@ type vetConfig struct {
 
 // runVetUnit analyzes one compilation unit described by a cmd/go *.cfg
 // file: the `go vet -vettool=mblint` path. Types for imports come from the
-// export data cmd/go already compiled, so no source re-checking happens.
+// export data cmd/go already compiled, so no source re-checking happens;
+// facts about imported functions come from their units' .vetx files.
 func runVetUnit(cfgFile, configPath string) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -49,13 +57,22 @@ func runVetUnit(cfgFile, configPath string) int {
 		return 1
 	}
 
-	// go vet hands every dependency unit to the tool so fact-based
-	// checkers can propagate; mblint keeps no cross-package facts and its
-	// invariants are contracts of THIS module, so dependency-only units
-	// and standard-library packages get an empty facts file and no
-	// diagnostics.
-	if vc.VetxOnly || vc.Standard[vc.ImportPath] {
-		return writeVetx(vc.VetxOutput)
+	store := lint.NewFactStore()
+
+	// Only units of the module under vet get source analysis: mblint's
+	// invariants are contracts of THIS module, and the blocking/panic
+	// tables already cover the stdlib by name (summarizing runtime/fmt
+	// source would mark every allocation may-block via the GC machinery).
+	// Standard-library and external-module units get empty fact files.
+	// Module units are always analyzed — even VetxOnly dependency units —
+	// because their exported facts are the whole point; VetxOnly only
+	// suppresses the diagnostics.
+	if vc.Standard[vc.ImportPath] || !inModule(vc.ImportPath, vc.ModulePath) {
+		return writeVetx(vc.VetxOutput, store)
+	}
+
+	if rc := importDepFacts(store, vc.PackageVetx); rc != 0 {
+		return rc
 	}
 
 	fset := token.NewFileSet()
@@ -100,50 +117,102 @@ func runVetUnit(cfgFile, configPath string) int {
 	tpkg, err := tconf.Check(vc.ImportPath, fset, files, info)
 	if err != nil {
 		if vc.SucceedOnTypecheckFailure {
-			return writeVetx(vc.VetxOutput)
+			return writeVetx(vc.VetxOutput, store)
 		}
 		fmt.Fprintf(os.Stderr, "mblint: typechecking %s: %v\n", vc.ImportPath, err)
 		return 1
 	}
 
 	cfg := lint.DefaultConfig()
+	root := moduleRootFor(vc.Dir)
 	if configPath != "" {
 		if cfg, err = lint.LoadConfig(configPath); err != nil {
 			fmt.Fprintf(os.Stderr, "mblint: %v\n", err)
 			return 1
 		}
-	} else if root := moduleRootFor(vc.Dir); root != "" {
+	} else if root != "" {
 		if c, err := loadConfig("", root); err == nil {
 			cfg = c
 		}
 	}
 
 	pkg := &lint.Package{Path: vc.ImportPath, Dir: vc.Dir, Files: files, Types: tpkg, TypesInfo: info}
-	findings, err := lint.RunAnalyzers([]*lint.Package{pkg}, lint.All(), cfg, fset)
+	findings, err := lint.RunAnalyzersStore([]*lint.Package{pkg}, lint.All(), cfg, fset, store)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mblint: %v\n", err)
 		return 1
 	}
+	if vc.VetxOnly {
+		// A dependency-only unit: facts matter, diagnostics do not (the
+		// unit will be — or was — vetted as a target in its own right).
+		return writeVetx(vc.VetxOutput, store)
+	}
+	if root != "" {
+		if b, err := lint.LoadBaseline(filepath.Join(root, defaultBaselineName)); err == nil {
+			findings, _ = b.Filter(findings, root)
+		}
+	}
 	lint.Print(os.Stderr, findings)
-	if rc := writeVetx(vc.VetxOutput); rc != 0 {
+	if rc := writeVetx(vc.VetxOutput, store); rc != 0 {
 		return rc
 	}
-	if len(findings) > 0 {
-		return 2
+	for _, f := range findings {
+		if cfg.SeverityOf(f.Pass) == "error" {
+			return 2
+		}
 	}
 	return 0
 }
 
-// writeVetx writes the (empty) facts file cmd/go expects from a vet tool.
-func writeVetx(path string) int {
+// importDepFacts seeds the store with the facts every dependency unit
+// exported. Order doesn't matter semantically (paths are disjoint per
+// package) but iterate sorted anyway for reproducible error output.
+func importDepFacts(store *lint.FactStore, vetx map[string]string) int {
+	paths := make([]string, 0, len(vetx))
+	for p := range vetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		data, err := os.ReadFile(vetx[p])
+		if err != nil {
+			// A missing dependency fact file degrades the analysis (calls
+			// into that package read as non-blocking), it doesn't fail it.
+			continue
+		}
+		if err := store.ImportJSON(data); err != nil {
+			fmt.Fprintf(os.Stderr, "mblint: facts for %s: %v\n", p, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// writeVetx writes the unit's serialized facts where cmd/go expects them.
+func writeVetx(path string, store *lint.FactStore) int {
 	if path == "" {
 		return 0
 	}
-	if err := os.WriteFile(path, []byte{}, 0o666); err != nil { //mblint:ignore atomicwrite cmd/go owns this cache file and its lifecycle
+	data, err := store.ExportJSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mblint: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil { //mblint:ignore atomicwrite cmd/go owns this cache file and its lifecycle
 		fmt.Fprintf(os.Stderr, "mblint: %v\n", err)
 		return 1
 	}
 	return 0
+}
+
+// inModule reports whether importPath belongs to the module cmd/go is
+// vetting (the unit's ModulePath). Standard-library units carry an empty
+// ModulePath.
+func inModule(importPath, modulePath string) bool {
+	if modulePath == "" || modulePath == "std" || modulePath == "cmd" {
+		return false
+	}
+	return importPath == modulePath || strings.HasPrefix(importPath, modulePath+"/")
 }
 
 // moduleRootFor walks up from dir to the nearest go.mod, or "".

@@ -514,6 +514,7 @@ func (w *Writer) Put(rec RunRecord) error {
 	} else {
 		w.snap.Records = append(w.snap.Records, rec)
 	}
+	//mblint:ignore mutexhold the save IS the critical section: Put's contract is that the on-disk snapshot is complete after every record, so concurrent rewrites must serialize under w.mu
 	return Save(w.path, &w.snap)
 }
 

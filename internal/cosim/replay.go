@@ -35,8 +35,8 @@ const ReplayVersion = 1
 // file rather than an allocation to attempt.
 const maxReplayRecord = MaxFrameBytes
 
-// replayFlushEvery is how many new records accumulate before the log is
-// rewritten to disk (it also flushes on Close/Flush).
+// replayFlushEvery is how many new records accumulate before MaybeFlush
+// rewrites the log on disk (it also flushes on Close/Flush).
 const replayFlushEvery = 256
 
 // LogError reports an unusable replay-log file. Corruption is loud: a
@@ -53,11 +53,25 @@ func (e *LogError) Error() string { return fmt.Sprintf("cosim: replay log %s: %s
 // ReplayLog is the supervisor's reply cache: an in-memory map persisted as
 // a CRC'd file through checkpoint.AtomicFile. A nil *ReplayLog is valid and
 // caches nothing (replay disabled). Safe for concurrent use.
+//
+// Persistence is deferred: Put is pure in-memory, and flushing encodes a
+// snapshot under mu but performs the file write under a separate write
+// mutex, so Get/Put/Len are never stalled behind disk I/O (the PR-8
+// supervisor-stall class: a flush under the map mutex blocked every
+// reader for the duration of an atomic rewrite).
 type ReplayLog struct {
-	mu    sync.Mutex
-	path  string
-	m     map[string][]byte
-	dirty int
+	// mu guards the map and the generation counters; it is only ever held
+	// for in-memory work.
+	mu   sync.Mutex
+	path string
+	m    map[string][]byte
+	// puts counts accepted Puts; flushed is the puts value captured by the
+	// last durable flush. Their difference is the dirty-record count.
+	puts    uint64
+	flushed uint64
+	// wmu serializes flushers' file writes. Never held together with mu,
+	// and never taken by Get/Put/Len.
+	wmu sync.Mutex
 }
 
 // OpenReplayLog loads the log at path, or starts an empty one when the file
@@ -146,24 +160,22 @@ func (l *ReplayLog) Get(key string) ([]byte, bool) {
 	return v, ok
 }
 
-// Put records a reply under its query key and flushes the file once enough
-// new records accumulated. Re-putting an existing key is a no-op: first
-// write wins, so a reply can never change under a key.
-func (l *ReplayLog) Put(key string, reply []byte) error {
+// Put records a reply under its query key, purely in memory. Re-putting
+// an existing key is a no-op: first write wins, so a reply can never
+// change under a key. Callers make the record durable with MaybeFlush
+// (batched) or Flush (unconditional) once they are outside their own
+// critical sections.
+func (l *ReplayLog) Put(key string, reply []byte) {
 	if l == nil {
-		return nil
+		return
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, ok := l.m[key]; ok {
-		return nil
+		return
 	}
 	l.m[key] = append([]byte(nil), reply...)
-	l.dirty++
-	if l.dirty >= replayFlushEvery {
-		return l.flushLocked()
-	}
-	return nil
+	l.puts++
 }
 
 // Len returns the number of logged replies.
@@ -176,21 +188,58 @@ func (l *ReplayLog) Len() int {
 	return len(l.m)
 }
 
-// Flush persists the log atomically (temp + fsync + rename); a crash
-// mid-flush leaves the previous file intact.
-func (l *ReplayLog) Flush() error {
+// MaybeFlush persists the log if enough new records accumulated since
+// the last durable flush. The supervisor calls it after every exchange,
+// outside its own mutex.
+func (l *ReplayLog) MaybeFlush() error {
 	if l == nil {
 		return nil
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.flushLocked()
-}
-
-func (l *ReplayLog) flushLocked() error {
-	if l.dirty == 0 {
+	dirty := l.puts - l.flushed
+	l.mu.Unlock()
+	if dirty < replayFlushEvery {
 		return nil
 	}
+	return l.Flush()
+}
+
+// Flush persists the log atomically (temp + fsync + rename); a crash
+// mid-flush leaves the previous file intact. The snapshot is encoded
+// under the map mutex, but the file write happens under the separate
+// write mutex, so concurrent Get/Put never wait on disk. A failed write
+// leaves the flushed generation unchanged: the records stay dirty and
+// the next flush retries them.
+func (l *ReplayLog) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	l.mu.Lock()
+	if l.puts == l.flushed {
+		l.mu.Unlock()
+		return nil
+	}
+	gen := l.puts
+	data := l.encodeLocked()
+	l.mu.Unlock()
+	//mblint:ignore mutexhold l.wmu exists solely to serialize flushers' writes; Get/Put/Len never take it
+	if err := checkpoint.WriteFile(l.path, data, 0o644); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	// Puts that arrived while the file was being written are newer than
+	// the snapshot on disk; the generation guard keeps them dirty.
+	if l.flushed < gen {
+		l.flushed = gen
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// encodeLocked renders the file bytes for the current contents. l.mu held.
+func (l *ReplayLog) encodeLocked() []byte {
 	keys := make([]string, 0, len(l.m))
 	for k := range l.m {
 		keys = append(keys, k)
@@ -211,9 +260,5 @@ func (l *ReplayLog) flushLocked() error {
 	}
 	sum := crc32.ChecksumIEEE(b.Bytes())
 	_ = binary.Write(&b, binary.LittleEndian, sum)
-	if err := checkpoint.WriteFile(l.path, b.Bytes(), 0o644); err != nil {
-		return err
-	}
-	l.dirty = 0
-	return nil
+	return b.Bytes()
 }

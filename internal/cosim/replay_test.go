@@ -21,12 +21,8 @@ func TestReplayLogRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("OpenReplayLog: %v", err)
 	}
-	if err := l.Put("q1", []byte(`{"mem":{}}`)); err != nil {
-		t.Fatalf("Put: %v", err)
-	}
-	if err := l.Put("q2", []byte(`{"io":{}}`)); err != nil {
-		t.Fatalf("Put: %v", err)
-	}
+	l.Put("q1", []byte(`{"mem":{}}`))
+	l.Put("q2", []byte(`{"io":{}}`))
 	if err := l.Flush(); err != nil {
 		t.Fatalf("Flush: %v", err)
 	}
@@ -49,12 +45,8 @@ func TestReplayLogFirstWriteWins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Put("k", []byte("first")); err != nil {
-		t.Fatal(err)
-	}
-	if err := l.Put("k", []byte("second")); err != nil {
-		t.Fatal(err)
-	}
+	l.Put("k", []byte("first"))
+	l.Put("k", []byte("second"))
 	if v, _ := l.Get("k"); string(v) != "first" {
 		t.Fatalf("Get = %q, want the first write", v)
 	}
@@ -67,7 +59,8 @@ func TestReplayLogNilSafe(t *testing.T) {
 	if _, ok := l.Get("k"); ok {
 		t.Fatal("nil log returned a hit")
 	}
-	if err := l.Put("k", []byte("v")); err != nil {
+	l.Put("k", []byte("v"))
+	if err := l.MaybeFlush(); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Flush(); err != nil {
@@ -78,25 +71,74 @@ func TestReplayLogNilSafe(t *testing.T) {
 	}
 }
 
-// TestReplayLogAutoFlush: the log persists itself every replayFlushEvery
-// new records, so a crashed process loses at most one batch's tail.
-func TestReplayLogAutoFlush(t *testing.T) {
+// TestReplayLogMaybeFlushBatches: Put is pure in-memory; MaybeFlush is a
+// no-op below the batching threshold and persists everything at it, so a
+// crashed process still loses at most one batch's tail while no reader
+// ever waits on the disk behind l.mu (the PR-8 stall class).
+func TestReplayLogMaybeFlushBatches(t *testing.T) {
 	path := tmpLog(t)
 	l, err := OpenReplayLog(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < replayFlushEvery; i++ {
-		if err := l.Put(fmt.Sprintf("k%04d", i), []byte("v")); err != nil {
-			t.Fatal(err)
-		}
+	for i := 0; i < replayFlushEvery-1; i++ {
+		l.Put(fmt.Sprintf("k%04d", i), []byte("v"))
+	}
+	if err := l.MaybeFlush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Fatal("MaybeFlush wrote below the batching threshold")
+	}
+	l.Put("last", []byte("v"))
+	if err := l.MaybeFlush(); err != nil {
+		t.Fatal(err)
 	}
 	re, err := OpenReplayLog(path)
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
 	if re.Len() != replayFlushEvery {
-		t.Fatalf("auto-flushed log has %d records, want %d", re.Len(), replayFlushEvery)
+		t.Fatalf("flushed log has %d records, want %d", re.Len(), replayFlushEvery)
+	}
+	// Nothing new since the durable flush: the next flushes are no-ops.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err == nil {
+		t.Fatal("Flush rewrote a clean log")
+	}
+}
+
+// TestReplayLogFailedFlushStaysDirty: a failed write leaves the records
+// dirty, so the next flush retries them instead of silently dropping the
+// batch.
+func TestReplayLogFailedFlushStaysDirty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "missing", "replay.log")
+	l, err := OpenReplayLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Put("k", []byte("v"))
+	if err := l.Flush(); err == nil {
+		t.Fatal("Flush into a missing directory succeeded")
+	}
+	if err := os.Mkdir(filepath.Join(dir, "missing"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatalf("retried Flush: %v", err)
+	}
+	re, err := OpenReplayLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("retried flush persisted %d records, want 1", re.Len())
 	}
 }
 
@@ -112,9 +154,7 @@ func TestReplayLogDeterministicBytes(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, k := range keys {
-			if err := l.Put(k, []byte("v-"+k)); err != nil {
-				t.Fatal(err)
-			}
+			l.Put(k, []byte("v-"+k))
 		}
 		if err := l.Flush(); err != nil {
 			t.Fatal(err)
@@ -140,9 +180,7 @@ func TestReplayLogRefusesDamage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := l.Put("key", []byte("value")); err != nil {
-		t.Fatal(err)
-	}
+	l.Put("key", []byte("value"))
 	if err := l.Flush(); err != nil {
 		t.Fatal(err)
 	}

@@ -196,12 +196,16 @@ func (s *Supervisor) Degraded() bool {
 // unusable afterwards.
 func (s *Supervisor) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	//mblint:ignore mutexhold Kill closes the child's pipes first, so Wait reaps promptly; teardown under s.mu is bounded
 	s.killLocked()
+	s.mu.Unlock()
+	// The final flush runs outside s.mu: a slow disk at shutdown must not
+	// stall status accessors or sessions still observing the closed state.
 	return s.log.Flush()
 }
 
@@ -212,7 +216,24 @@ func (s *Supervisor) Close() error {
 // crash, restart or resume replays the same bytes.
 func (s *Supervisor) Exchange(queries []Query) ([]Reply, ExchangeInfo, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	//mblint:ignore mutexhold exchanges are serialized by contract — s.mu IS the one-batch-at-a-time serialization, and the recovery path's long waits release it (restartUnlocking)
+	out, info, err := s.exchangeLocked(queries)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, info, err
+	}
+	// Newly computed replies become durable here, outside s.mu: the log
+	// batches its own writes behind a dedicated write mutex, so neither
+	// status accessors nor concurrent sessions queue behind the disk.
+	if err := s.log.MaybeFlush(); err != nil {
+		return nil, info, err
+	}
+	return out, info, nil
+}
+
+// exchangeLocked is Exchange's body; s.mu is held throughout (modulo the
+// recovery waits, which release it — see askLocked).
+func (s *Supervisor) exchangeLocked(queries []Query) ([]Reply, ExchangeInfo, error) {
 	var info ExchangeInfo
 	if s.closed {
 		return nil, info, fmt.Errorf("cosim: supervisor is closed")
@@ -259,9 +280,7 @@ func (s *Supervisor) Exchange(queries []Query) ([]Reply, ExchangeInfo, error) {
 		if merr != nil {
 			return nil, info, &ProtoError{Reason: "unencodable reply: " + merr.Error()}
 		}
-		if err := s.log.Put(keys[i], raw); err != nil {
-			return nil, info, err
-		}
+		s.log.Put(keys[i], raw)
 		// The log wins ties: a restart wait releases the lock, so a
 		// concurrent session may have answered (and logged) the same query
 		// first. Every session must return the bytes a resume would replay —
@@ -382,6 +401,7 @@ func (s *Supervisor) restartUnlocking(info *ExchangeInfo) error {
 		// Lost the race: the caller's loop re-reads the new state; our own
 		// child (if it came up) is surplus.
 		if err == nil {
+			//mblint:ignore mutexhold the surplus child is killed before Wait, which then reaps promptly off its closed pipes
 			killChild(c)
 		}
 		return nil

@@ -520,6 +520,7 @@ func writeFrame(conn net.Conn, mu *sync.Mutex, f Frame) error {
 	}
 	mu.Lock()
 	defer mu.Unlock()
+	//mblint:ignore mutexhold mu is this connection's dedicated write mutex — serializing writers across conn.Write is its whole job, and a wedged peer stalls only its own connection (reaped by the heartbeat deadline)
 	_, err = conn.Write(data)
 	return err
 }

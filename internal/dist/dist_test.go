@@ -462,3 +462,101 @@ func TestLeaseTTLRevocation(t *testing.T) {
 		t.Fatalf("runs = %v, want silent first, healthy last", runs)
 	}
 }
+
+// TestWedgedWorkerDoesNotStallCoordinator is the PR-8 stall class on the
+// fleet's write path: a worker that handshakes and then stops reading
+// wedges dispatch writes to its connection once the socket buffer fills.
+// Those writes hold only that connection's write mutex — never the
+// coordinator's — so Stats stays responsive and jobs keep flowing to
+// healthy workers while the wedge is live.
+func TestWedgedWorkerDoesNotStallCoordinator(t *testing.T) {
+	c, addr := startCoordinator(t, dist.CoordinatorConfig{})
+
+	// A raw wedged worker: hello, welcome, then silence — it never reads
+	// another byte, so dispatch frames pile up in the socket buffers.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello, err := dist.EncodeFrame(dist.Frame{Type: dist.TypeHello, Proto: dist.ProtoVersion, Worker: "a-wedge", Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	welcome := make([]byte, 1)
+	for { // consume exactly the welcome line, nothing after it
+		if _, err := conn.Read(welcome); err != nil {
+			t.Fatalf("reading welcome: %v", err)
+		}
+		if welcome[0] == '\n' {
+			break
+		}
+	}
+	waitWorkers(t, c, 1)
+
+	// Two dispatches of a spec far beyond the loopback socket buffering
+	// both target a-wedge (most free slots, lowest id); at least one
+	// writer wedges mid-Write holding a-wedge's write mutex.
+	bigSpec := json.RawMessage(fmt.Sprintf(`{"pad":%q}`, bytes.Repeat([]byte("x"), 6<<20)))
+	wedgeCtx, cancelWedged := context.WithCancel(context.Background())
+	defer cancelWedged()
+	var wedged sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wedged.Add(1)
+		go func(i int) {
+			defer wedged.Done()
+			_, _ = c.Execute(wedgeCtx, fmt.Sprintf("job-wedge-%d", i), bigSpec, "")
+		}(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, _, active := c.Stats(); active == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, _, active := c.Stats()
+			t.Fatalf("wedged dispatches never leased: active = %d, want 2", active)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The coordinator's shared state must stay reachable while the wedge
+	// is live...
+	statsDone := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			c.Stats()
+		}
+		close(statsDone)
+	}()
+	select {
+	case <-statsDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stats wedged behind the stuck dispatch write")
+	}
+
+	// ...and a healthy worker must still receive and finish jobs.
+	echo := func(_ context.Context, jobID string, _ json.RawMessage, _ string) (json.RawMessage, error) {
+		return json.RawMessage(`{"ok":true}`), nil
+	}
+	startWorker(t, dist.WorkerConfig{ID: "b-healthy"}, echo, addr)
+	waitWorkers(t, c, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	got, err := c.Execute(ctx, "job-healthy", json.RawMessage(`{}`), "")
+	if err != nil {
+		t.Fatalf("Execute on the healthy worker while a peer is wedged: %v", err)
+	}
+	if string(got) != `{"ok":true}` {
+		t.Fatalf("result = %s", got)
+	}
+
+	// Unwedge: closing the connection fails the stuck writes, the wedge is
+	// dropped and its leases revoke.
+	cancelWedged()
+	_ = conn.Close()
+	wedged.Wait()
+}

@@ -1,9 +1,12 @@
 // Package lint is mobilebench's in-tree static analyzer: a small,
 // dependency-free re-implementation of the golang.org/x/tools/go/analysis
-// vocabulary (Analyzer, Pass, Diagnostic, suggested fixes) plus five passes
-// that machine-enforce the repository's reproducibility invariants —
-// deterministic iteration, injected randomness and clocks, atomic output
-// writes, cancellable loops and cause-preserving error wrapping.
+// vocabulary (Analyzer, Pass, Diagnostic, suggested fixes, cross-package
+// facts) plus nine passes that machine-enforce the repository's
+// reproducibility and concurrency invariants — deterministic iteration,
+// injected randomness and clocks, atomic output writes, cancellable loops,
+// cause-preserving error wrapping, no blocking under mutexes, complete
+// fingerprint pre-images, goroutine cancellation paths and wire-frame
+// decoding conventions.
 //
 // The container this repository builds in has no module proxy access, so
 // the framework is built directly on go/ast, go/parser, go/types and
@@ -48,6 +51,10 @@ type Pass struct {
 	// Config holds the repository-level lint configuration (package
 	// allowlists, deterministic-package segments).
 	Config *Config
+	// Facts is the run-wide cross-package fact store. The driver
+	// toposorts packages so dependency facts exist before importers
+	// consult them; passes needing facts call Facts.summarize first.
+	Facts *FactStore
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
 }

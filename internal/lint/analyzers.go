@@ -22,8 +22,12 @@ func All() []*Analyzer {
 		AtomicWrite,
 		CtxLoop,
 		ErrWrap,
+		FpComplete,
+		GoroLeak,
 		MapIterOrder,
+		MutexHold,
 		NonDeterm,
+		WireFrame,
 	}
 }
 

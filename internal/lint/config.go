@@ -3,6 +3,7 @@ package lint
 import (
 	"encoding/json"
 	"fmt"
+	"go/types"
 	"os"
 	"path"
 	"strings"
@@ -36,6 +37,61 @@ type Config struct {
 	// pattern is an import path, an import-path glob (path.Match), or a
 	// prefix ending in "/..." matching the whole subtree.
 	Exclude map[string][]string `json:"exclude"`
+
+	// Fingerprint lists the fpcomplete rules: structs whose
+	// result-affecting fields must all be read by their fingerprint
+	// pre-image builders (or sit on the execution-only allowlist).
+	Fingerprint []FingerprintRule `json:"fingerprint,omitempty"`
+
+	// WireframePkgs lists import-path segments naming the wire-protocol
+	// packages wireframe checks (frame decoding conventions).
+	WireframePkgs []string `json:"wireframe_pkgs,omitempty"`
+
+	// Severity maps a pass name to "error" or "warning". Error findings
+	// fail the build (exit 2); warnings print but do not. Unlisted
+	// passes default to error.
+	Severity map[string]string `json:"severity,omitempty"`
+}
+
+// FingerprintRule binds one cache-identity struct to its pre-image
+// builders. Struct is "segment.TypeName" — the segment matches any
+// "/"-separated piece of the defining package's import path, so the
+// same rule covers mobilebench/internal/server and a testdata fixture
+// named server. Builders are function keys ("Spec.CacheKey",
+// "Options.CheckpointCanonical") resolved in the package being
+// analyzed; coverage is the union of their transitive field reads.
+// Allow lists execution-only fields that never change result bytes.
+type FingerprintRule struct {
+	Struct   string   `json:"struct"`
+	Builders []string `json:"builders"`
+	Allow    []string `json:"allow,omitempty"`
+}
+
+// matchesType reports whether obj (a type name) is the rule's struct.
+func (r FingerprintRule) matchesType(obj interface {
+	Name() string
+	Pkg() *types.Package
+}) bool {
+	i := strings.LastIndex(r.Struct, ".")
+	if i < 0 || obj.Pkg() == nil {
+		return false
+	}
+	seg, name := r.Struct[:i], r.Struct[i+1:]
+	return obj.Name() == name && pathHasSegment(obj.Pkg().Path(), []string{seg})
+}
+
+// fingerprintRules returns the configured rules (never nil-safe needed;
+// an empty config means no fpcomplete coverage checks).
+func (c *Config) fingerprintRules() []FingerprintRule {
+	return c.Fingerprint
+}
+
+// SeverityOf returns "error" or "warning" for a pass (default error).
+func (c *Config) SeverityOf(pass string) string {
+	if s, ok := c.Severity[pass]; ok && s == "warning" {
+		return "warning"
+	}
+	return "error"
 }
 
 // DefaultConfig returns this repository's checked-in lint policy.
@@ -51,6 +107,25 @@ func DefaultConfig() *Config {
 			"profiler", "trace", "xrand",
 		},
 		AtomicAllowPkgs: []string{"checkpoint"},
+		Fingerprint: []FingerprintRule{
+			// PR 7's incident class: the result cache key must bind every
+			// result-affecting spec field. Workers and TimeoutSec only
+			// shape execution (parallelism, deadline), never the bytes.
+			{
+				Struct:   "server.Spec",
+				Builders: []string{"Spec.CacheKey"},
+				Allow:    []string{"Workers", "TimeoutSec"},
+			},
+			// The checkpoint fingerprint's pre-image: Workers is
+			// parallelism, Checkpoint/Resume name where the snapshot
+			// lives, none of them change collected bytes.
+			{
+				Struct:   "core.Options",
+				Builders: []string{"Options.CheckpointCanonical"},
+				Allow:    []string{"Workers", "Checkpoint", "Resume"},
+			},
+		},
+		WireframePkgs: []string{"dist", "cosim"},
 		SafeCallPkgs: []string{
 			"fmt", "strings", "strconv", "sort", "errors", "math", "math/bits",
 			"bytes", "unicode", "unicode/utf8", "slices", "maps", "cmp",
@@ -87,6 +162,15 @@ func LoadConfig(file string) (*Config, error) {
 	}
 	if len(over.Exclude) > 0 {
 		cfg.Exclude = over.Exclude
+	}
+	if len(over.Fingerprint) > 0 {
+		cfg.Fingerprint = over.Fingerprint
+	}
+	if len(over.WireframePkgs) > 0 {
+		cfg.WireframePkgs = over.WireframePkgs
+	}
+	if len(over.Severity) > 0 {
+		cfg.Severity = over.Severity
 	}
 	return cfg, nil
 }

@@ -1,0 +1,124 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mobilebench/internal/lint"
+)
+
+// fixAt builds a finding with one edit replacing [start,end) of file.
+func fixAt(file string, start, end int, text string) lint.Finding {
+	return lint.Finding{
+		Pass: "test",
+		Pos:  token.Position{Filename: file, Line: 1, Column: 1},
+		Fixes: []lint.ResolvedFix{{
+			Message: "rewrite",
+			Edits: []lint.ResolvedEdit{{
+				Start:   token.Position{Filename: file, Offset: start},
+				End:     token.Position{Filename: file, Offset: end},
+				NewText: []byte(text),
+			}},
+		}},
+	}
+}
+
+func writeTemp(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestApplyFixesCrossFileSameLine is the satellite-2 scenario: two
+// findings in the same package whose fixes land on the same line/offset
+// of DIFFERENT files must both apply — same-offset is only a conflict
+// within one file.
+func TestApplyFixesCrossFileSameLine(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTemp(t, dir, "a.go", "package p\n\nvar A = 1\n")
+	b := writeTemp(t, dir, "b.go", "package p\n\nvar B = 1\n")
+
+	// Both edits replace offset 19..20 ("1") on line 3 of their file.
+	n, err := lint.ApplyFixes([]lint.Finding{
+		fixAt(a, 19, 20, "2"),
+		fixAt(b, 19, 20, "3"),
+	})
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("applied %d edits, want 2", n)
+	}
+	for path, want := range map[string]string{a: "package p\n\nvar A = 2\n", b: "package p\n\nvar B = 3\n"} {
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Errorf("%s = %q, want %q", filepath.Base(path), got, want)
+		}
+	}
+}
+
+// TestApplyFixesConflictWritesNothing pins the two-phase guarantee: a
+// conflict detected in the second file aborts before the first file
+// (alphabetically earlier, already validated) is written.
+func TestApplyFixesConflictWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	aContent := "package p\n\nvar A = 1\n"
+	bContent := "package p\n\nvar B = 1\n"
+	a := writeTemp(t, dir, "a.go", aContent)
+	b := writeTemp(t, dir, "b.go", bContent)
+
+	n, err := lint.ApplyFixes([]lint.Finding{
+		fixAt(a, 19, 20, "2"),
+		fixAt(b, 10, 20, "x"),
+		fixAt(b, 15, 25, "y"), // overlaps the previous edit
+	})
+	if err == nil {
+		t.Fatal("overlapping fixes did not error")
+	}
+	if n != 0 {
+		t.Fatalf("reported %d applied edits on failure, want 0", n)
+	}
+	for path, want := range map[string]string{a: aContent, b: bContent} {
+		got, readErr := os.ReadFile(path)
+		if readErr != nil {
+			t.Fatal(readErr)
+		}
+		if string(got) != want {
+			t.Errorf("%s was modified despite the conflict: %q", filepath.Base(path), got)
+		}
+	}
+}
+
+// TestApplyFixesDedupesIdenticalEdits: two findings proposing the very
+// same rewrite (same span, same text) must not be treated as a
+// conflict; the edit applies once.
+func TestApplyFixesDedupesIdenticalEdits(t *testing.T) {
+	dir := t.TempDir()
+	a := writeTemp(t, dir, "a.go", "package p\n\nvar A = 1\n")
+
+	n, err := lint.ApplyFixes([]lint.Finding{
+		fixAt(a, 19, 20, "2"),
+		fixAt(a, 19, 20, "2"),
+	})
+	if err != nil {
+		t.Fatalf("identical edits rejected: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("applied %d edits, want 1 after dedupe", n)
+	}
+	got, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "package p\n\nvar A = 2\n"; string(got) != want {
+		t.Fatalf("a.go = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak flags goroutines launched inside context-taking functions
+// that have no cancellation or join path. A request-scoped function
+// returns when its ctx is done; a goroutine it spawned that neither
+// consults the context, waits on or closes a channel, nor is joined
+// through a WaitGroup outlives the request — by a little (leaked until
+// its work ends) or forever (a bare for-loop). Accepted escape routes:
+//
+//   - the goroutine body references a context.Context value;
+//   - the body performs any channel operation (select, receive, send,
+//     close, range) — a communication edge its owner can cut by closing
+//     or draining, the server.Shutdown completion-notifier shape;
+//   - the body calls Done on a WaitGroup the enclosing function Waits
+//     on (joined before return);
+//   - a named/bound callee is handed a ctx or channel argument.
+//
+// Bodies that do no real work (pure in-memory calls only) are exempt:
+// they finish promptly no matter what.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "flag goroutines launched in ctx-taking functions without a cancellation path " +
+		"(no ctx consult, channel operation, or WaitGroup join); they outlive the request.",
+	Run: runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) error {
+	reported := make(map[token.Pos]bool)
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var ftype *ast.FuncType
+			var name string
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, ftype, name = fn.Body, fn.Type, fn.Name.Name
+			case *ast.FuncLit:
+				body, ftype, name = fn.Body, fn.Type, "func literal"
+			default:
+				return true
+			}
+			if body == nil || !hasCtxParam(pass.TypesInfo, ftype) {
+				return true
+			}
+			checkGoStmts(pass, body, name, reported)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoStmts examines every go statement lexically inside a ctx-taking
+// function, nested non-ctx literals included (they share the ctx scope).
+// Nested ctx-taking literals are their own analysis unit; the reported
+// set keeps overlapping visits from double-reporting.
+func checkGoStmts(pass *Pass, body *ast.BlockStmt, fname string, reported map[token.Pos]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && hasCtxParam(pass.TypesInfo, lit.Type) {
+			return false
+		}
+		g, ok := n.(*ast.GoStmt)
+		if !ok || reported[g.Pos()] {
+			return true
+		}
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+			if goroutineCovered(pass, body, g, lit) {
+				return true
+			}
+			if doesWork(pass, lit.Body) {
+				reported[g.Pos()] = true
+				pass.Reportf(g.Pos(),
+					"goroutine launched in ctx-taking %s has no cancellation path (no ctx consult, channel operation, or WaitGroup join); it can outlive the request and leak",
+					fname)
+			}
+			return true
+		}
+		// Named or bound callee: a ctx or channel argument is its route.
+		for _, arg := range g.Call.Args {
+			if t := pass.TypesInfo.TypeOf(arg); t != nil {
+				if isContextType(t) || isChanType(t) {
+					return true
+				}
+			}
+		}
+		reported[g.Pos()] = true
+		pass.Reportf(g.Pos(),
+			"goroutine launched in ctx-taking %s is handed neither a context nor a channel; it has no cancellation path and can outlive the request",
+			fname)
+		return true
+	})
+}
+
+// goroutineCovered reports whether a goroutine literal has an accepted
+// cancellation or join path.
+func goroutineCovered(pass *Pass, enclosing *ast.BlockStmt, g *ast.GoStmt, lit *ast.FuncLit) bool {
+	if mentionsContext(pass.TypesInfo, lit.Body) {
+		return true
+	}
+	if hasChanSignal(pass.TypesInfo, lit.Body) {
+		return true
+	}
+	return waitGroupJoined(pass, enclosing, lit)
+}
+
+// isChanType reports whether t's core type is a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// hasChanSignal reports whether the body performs any channel operation:
+// select, receive, send, close, or range-over-channel. Each is an edge
+// the goroutine's owner controls.
+func hasChanSignal(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(x.X); isChanType(t) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if b, ok := calleeOf(info, x).(*types.Builtin); ok && b.Name() == "close" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// waitGroupJoined reports whether the goroutine calls Done on a
+// sync.WaitGroup that the enclosing function (outside the goroutine)
+// Waits on — the classic bounded-lifetime join.
+func waitGroupJoined(pass *Pass, enclosing *ast.BlockStmt, lit *ast.FuncLit) bool {
+	doneOn := waitGroupCalls(pass.TypesInfo, lit.Body, "Done", nil)
+	if len(doneOn) == 0 {
+		return false
+	}
+	waitedOn := waitGroupCalls(pass.TypesInfo, enclosing, "Wait", lit)
+	for obj := range doneOn {
+		if waitedOn[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// waitGroupCalls collects the root objects of WaitGroup method calls
+// named method under root, skipping the subtree at exclude.
+func waitGroupCalls(info *types.Info, root ast.Node, method string, exclude ast.Node) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(root, func(n ast.Node) bool {
+		if exclude != nil && n == exclude {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := calleeOf(info, call).(*types.Func)
+		if !ok || fn.Name() != method || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id := baseIdent(sel.X); id != nil {
+			if obj := info.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}

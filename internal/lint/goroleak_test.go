@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mobilebench/internal/lint"
+	"mobilebench/internal/lint/linttest"
+)
+
+func TestGoroLeak(t *testing.T) {
+	linttest.Run(t, lint.GoroLeak, nil, "goroleak/a")
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// MutexHold flags blocking operations — time.Sleep, network/pipe/file
+// I/O, exec waits, channel sends and receives, selects without a
+// default — reached while a sync.Mutex or RWMutex is held, plus calls
+// to functions whose cross-package facts say they may block. This is
+// PR 8's incident class verbatim: the cosim supervisor held its mutex
+// across multi-second restart sleeps and child handshakes, so every
+// concurrent session stalled behind one crashed child. The pass
+// simulates each function's lock/unlock/blocking events in source
+// order, understands `defer mu.Unlock()` (held to function end) and
+// the release-around-the-wait shape (unlock, wait, relock), and is
+// silenced per-site by `//mblint:ignore mutexhold <reason>` for the
+// deliberate short critical sections (dedicated write-serialization
+// mutexes, post-kill reaping).
+var MutexHold = &Analyzer{
+	Name: "mutexhold",
+	Doc: "flag blocking operations (sleeps, I/O, channel ops, exec waits, calls to may-block " +
+		"functions) performed while a sync mutex is held; release the lock around the wait " +
+		"or suppress deliberate short sections with //mblint:ignore mutexhold <reason>.",
+	Run: runMutexHold,
+}
+
+func runMutexHold(pass *Pass) error {
+	if pass.Facts != nil {
+		pass.Facts.summarize(pass)
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkHeldBlocking(pass, extractEvents(pass.TypesInfo, body))
+			return true
+		})
+	}
+	return nil
+}
+
+// checkHeldBlocking replays one function's events, reporting blocking
+// points where the held-set is non-empty.
+func checkHeldBlocking(pass *Pass, events []event) {
+	held := make(map[string]bool)
+	var order []string // report mutexes in acquisition order
+	for _, ev := range events {
+		switch ev.kind {
+		case evLock, evRLock:
+			if !held[ev.mutex] {
+				held[ev.mutex] = true
+				order = append(order, ev.mutex)
+			}
+		case evUnlock, evRUnlock:
+			delete(held, ev.mutex)
+		case evDeferUnlock:
+			// Held until return; the held-set already records it when
+			// the Lock preceded the defer, which is the idiom.
+		case evBlock:
+			if len(held) > 0 {
+				pass.Reportf(ev.pos,
+					"%s while %s is held; blocking under a mutex stalls every other holder (release the lock around the wait, or add //mblint:ignore mutexhold <reason> for a deliberate short section)",
+					ev.desc, heldNames(held, order))
+			}
+		case evCall:
+			if len(held) == 0 || pass.Facts == nil {
+				continue
+			}
+			if ff := pass.Facts.FactsFor(ev.fn); ff != nil && ff.MayBlock {
+				pass.Reportf(ev.pos,
+					"call to %s may block (%s) while %s is held; blocking under a mutex stalls every other holder (release the lock around the call, or add //mblint:ignore mutexhold <reason>)",
+					ev.desc, ff.BlockNote, heldNames(held, order))
+			}
+		}
+	}
+}
+
+// heldNames renders the currently held mutexes in acquisition order.
+func heldNames(held map[string]bool, order []string) string {
+	var names []string
+	for _, m := range order {
+		if held[m] {
+			names = append(names, m)
+		}
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"mobilebench/internal/lint"
+	"mobilebench/internal/lint/linttest"
+)
+
+func TestMutexHold(t *testing.T) {
+	linttest.Run(t, lint.MutexHold, nil, "mutexhold/a")
+}
+
+// TestMutexHoldCrossPackageFacts is the facts round-trip: package
+// facts/a exports may-block summaries, and analyzing facts/b (which
+// imports it) must observe them. Supplying both packages mirrors a
+// whole-module run; the driver toposorts them so a summarizes first.
+func TestMutexHoldCrossPackageFacts(t *testing.T) {
+	linttest.Run(t, lint.MutexHold, nil, "facts/a", "facts/b")
+}

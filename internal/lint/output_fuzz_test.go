@@ -1,0 +1,73 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"go/token"
+	"testing"
+	"unicode/utf8"
+
+	"mobilebench/internal/lint"
+)
+
+// FuzzDiagnosticsEncoder hammers the -json and SARIF encoders with
+// arbitrary finding content: any pass name, file path, message (control
+// characters, broken UTF-8, JSON metacharacters) and position values,
+// including negatives. Both encoders must never panic and must always
+// produce valid JSON — CI uploads their output verbatim, so one
+// malformed escape would take the whole annotation pipeline down. The
+// baseline writer/loader round-trips the same hostile content.
+func FuzzDiagnosticsEncoder(f *testing.F) {
+	f.Add("mutexhold", "internal/dist/coordinator.go", "channel send while c.mu is held", 42, 3, "error")
+	f.Add("fpcomplete", `c:\repo\internal\server\jobs.go`, `field "Shiny" of server.Spec is not referenced`, 7, -1, "warning")
+	f.Add("", "", "", 0, 0, "")
+	f.Add("wire\x00frame", "a\nb.go", "panic: \xff\xfe <script>\u2028</script>", -5, 1<<20, "fatal")
+	f.Add("goroleak", "testdata/src/π/ü.go", "goroutine \"leak\"\t\\escape", 1, 1, "warning")
+
+	f.Fuzz(func(t *testing.T, pass, file, message string, line, col int, severity string) {
+		findings := []lint.Finding{{
+			Pass:    pass,
+			Pos:     token.Position{Filename: file, Line: line, Column: col},
+			Message: message,
+		}}
+		cfg := lint.DefaultConfig()
+		if severity != "" {
+			cfg.Severity = map[string]string{pass: severity}
+		}
+
+		jsonOut, err := lint.EncodeJSON(findings, cfg, "")
+		if err != nil {
+			t.Fatalf("EncodeJSON: %v", err)
+		}
+		if !json.Valid(jsonOut) {
+			t.Fatalf("EncodeJSON produced invalid JSON: %q", jsonOut)
+		}
+
+		sarifOut, err := lint.EncodeSARIF(findings, cfg, "/repo")
+		if err != nil {
+			t.Fatalf("EncodeSARIF: %v", err)
+		}
+		if !json.Valid(sarifOut) {
+			t.Fatalf("EncodeSARIF produced invalid JSON: %q", sarifOut)
+		}
+
+		// The baseline file must round-trip the same content: what was
+		// written must load and suppress the finding that produced it.
+		// Skip inputs encoding/json cannot represent losslessly
+		// (invalid UTF-8 is replaced on encode, so the key changes).
+		if utf8.ValidString(pass) && utf8.ValidString(file) && utf8.ValidString(message) {
+			dir := t.TempDir()
+			path := dir + "/baseline.json"
+			if err := lint.WriteBaseline(path, findings, ""); err != nil {
+				t.Fatalf("WriteBaseline: %v", err)
+			}
+			b, err := lint.LoadBaseline(path)
+			if err != nil {
+				t.Fatalf("LoadBaseline: %v", err)
+			}
+			fresh, suppressed := b.Filter(findings, "")
+			if len(fresh) != 0 || suppressed != 1 {
+				t.Fatalf("baseline round-trip lost the finding: fresh=%d suppressed=%d", len(fresh), suppressed)
+			}
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"io"
 	"os"
 	"sort"
@@ -48,8 +49,16 @@ func (f Finding) String() string {
 // come back sorted by file, line, column and pass, so output is
 // deterministic regardless of analyzer-internal iteration order.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg *Config, fset *token.FileSet) ([]Finding, error) {
+	return RunAnalyzersStore(pkgs, analyzers, cfg, fset, NewFactStore())
+}
+
+// RunAnalyzersStore is RunAnalyzers with a caller-provided fact store —
+// the vettool driver pre-seeds it with dependency facts from .vetx
+// files. Packages run in dependency order so facts a pass exports while
+// analyzing package A exist when package B (importing A) is analyzed.
+func RunAnalyzersStore(pkgs []*Package, analyzers []*Analyzer, cfg *Config, fset *token.FileSet, store *FactStore) ([]Finding, error) {
 	var findings []Finding
-	for _, pkg := range pkgs {
+	for _, pkg := range topoSort(pkgs) {
 		ignores := ignoreIndex(fset, pkg.Files)
 		for _, a := range analyzers {
 			if cfg.Disabled(a.Name, pkg.Path) {
@@ -62,6 +71,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg *Config, fset *tok
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 				Config:    cfg,
+				Facts:     store,
 			}
 			pass.Report = func(d Diagnostic) {
 				pos := fset.Position(d.Pos)
@@ -104,6 +114,41 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, cfg *Config, fset *tok
 		return a.Pass < b.Pass
 	})
 	return findings, nil
+}
+
+// topoSort orders packages so imports precede importers (ties broken by
+// the incoming order, which the loaders keep deterministic). Only
+// packages in the input set participate; external dependencies are
+// already summarized (standalone: loaded and reachable; vettool:
+// imported from .vetx) or unknown, and unknown facts read as nil.
+func topoSort(pkgs []*Package) []*Package {
+	byTypes := make(map[*types.Package]*Package, len(pkgs))
+	for _, p := range pkgs {
+		if p.Types != nil {
+			byTypes[p.Types] = p
+		}
+	}
+	out := make([]*Package, 0, len(pkgs))
+	seen := make(map[*Package]bool, len(pkgs))
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		if seen[p] {
+			return
+		}
+		seen[p] = true
+		if p.Types != nil {
+			for _, imp := range p.Types.Imports() {
+				if dep, ok := byTypes[imp]; ok {
+					visit(dep)
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
 }
 
 // ignoreSet records, per file and line, which passes are suppressed.
@@ -156,57 +201,90 @@ func (s ignoreSet) suppressed(file string, line int, pass string) bool {
 	return false
 }
 
-// ApplyFixes applies every suggested edit to the working tree, writing
-// each patched file atomically (the linter practices what it preaches).
-// Overlapping edits within a file are rejected.
+// ApplyFixes applies every suggested edit to the working tree in two
+// phases: plan every file's patched contents in memory first, then
+// write them all (atomically, via the checkpoint helpers — the linter
+// practices what it preaches). Validation failures in phase one —
+// overlapping edits, out-of-range offsets, unreadable sources — abort
+// before ANY file is written, so a conflict between two findings in
+// different files of one package can never leave the tree half-patched
+// (the pre-two-phase driver wrote file A before discovering file B's
+// conflict). Identical edits from independent findings (two passes
+// suggesting the same rewrite, or the same line touched in different
+// files of one package) deduplicate instead of colliding.
 func ApplyFixes(findings []Finding) (int, error) {
 	type edit struct {
 		start, end int
-		text       []byte
+		text       string
 	}
 	perFile := make(map[string][]edit)
 	for _, f := range findings {
 		for _, fix := range f.Fixes {
 			for _, e := range fix.Edits {
 				perFile[e.Start.Filename] = append(perFile[e.Start.Filename], edit{
-					start: e.Start.Offset, end: e.End.Offset, text: e.NewText,
+					start: e.Start.Offset, end: e.End.Offset, text: string(e.NewText),
 				})
 			}
 		}
 	}
-	applied := 0
 	files := make([]string, 0, len(perFile))
 	for name := range perFile {
 		files = append(files, name)
 	}
 	sort.Strings(files)
+
+	// Phase one: validate and patch everything in memory.
+	applied := 0
+	patched := make(map[string][]byte, len(files))
 	for _, name := range files {
 		edits := perFile[name]
-		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		sort.Slice(edits, func(i, j int) bool {
+			a, b := edits[i], edits[j]
+			if a.start != b.start {
+				return a.start < b.start
+			}
+			if a.end != b.end {
+				return a.end < b.end
+			}
+			return a.text < b.text
+		})
+		deduped := edits[:0]
+		for i, e := range edits {
+			if i > 0 && e == edits[i-1] {
+				continue
+			}
+			deduped = append(deduped, e)
+		}
+		edits = deduped
 		for i := 1; i < len(edits); i++ {
 			if edits[i].start < edits[i-1].end {
-				return applied, fmt.Errorf("lint: overlapping fixes in %s at offset %d", name, edits[i].start)
+				return 0, fmt.Errorf("lint: overlapping fixes in %s at offset %d; nothing was written", name, edits[i].start)
 			}
 		}
 		src, err := os.ReadFile(name)
 		if err != nil {
-			return applied, err
+			return 0, err
 		}
 		var b strings.Builder
 		last := 0
 		for _, e := range edits {
 			if e.start < last || e.end > len(src) {
-				return applied, fmt.Errorf("lint: fix out of range in %s", name)
+				return 0, fmt.Errorf("lint: fix out of range in %s; nothing was written", name)
 			}
 			b.Write(src[last:e.start])
-			b.Write(e.text)
+			b.WriteString(e.text)
 			last = e.end
 		}
 		b.Write(src[last:])
-		if err := checkpoint.WriteFile(name, []byte(b.String()), 0o644); err != nil {
-			return applied, err
-		}
+		patched[name] = []byte(b.String())
 		applied += len(edits)
+	}
+
+	// Phase two: every file validated; write them all.
+	for _, name := range files {
+		if err := checkpoint.WriteFile(name, patched[name], 0o644); err != nil {
+			return 0, err
+		}
 	}
 	return applied, nil
 }

@@ -1,0 +1,22 @@
+// Package a exports blocking helpers; the facts round-trip test checks
+// that package b, importing this one, observes their may-block facts.
+package a
+
+import "time"
+
+// Blocky parks the goroutine: its may-block fact must be visible from
+// importing packages.
+func Blocky() {
+	time.Sleep(5 * time.Millisecond)
+}
+
+// Calm is pure in-memory: no facts.
+func Calm(x int) int {
+	return x * 2
+}
+
+// Indirect reaches Blocky through a call, so the fact propagates one
+// hop before export.
+func Indirect() {
+	Blocky()
+}

@@ -1,0 +1,36 @@
+// Package b imports facts/a and blocks on its helpers while holding a
+// mutex: the findings here only exist if package a's exported facts
+// survive the package boundary.
+package b
+
+import (
+	"sync"
+
+	"facts/a"
+)
+
+// T wraps a mutex.
+type T struct {
+	mu sync.Mutex
+}
+
+// Direct blocks through an imported function while locked.
+func (t *T) Direct() {
+	t.mu.Lock()
+	a.Blocky() // want `call to a\.Blocky may block \(time.Sleep\) while t\.mu is held`
+	t.mu.Unlock()
+}
+
+// Transitive blocks through two hops, the second in another package.
+func (t *T) Transitive() {
+	t.mu.Lock()
+	a.Indirect() // want `call to a\.Indirect may block .* while t\.mu is held`
+	t.mu.Unlock()
+}
+
+// Pure calls the non-blocking helper: clean.
+func (t *T) Pure() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return a.Calm(21)
+}

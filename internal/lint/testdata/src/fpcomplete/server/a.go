@@ -1,0 +1,44 @@
+// Package server is the fpcomplete fixture; its import path carries the
+// "server" segment, so the default server.Spec fingerprint rule applies.
+// It mirrors the real Spec/CacheKey pair: fields the pre-image reads
+// (directly or through a helper) are covered, Workers and TimeoutSec
+// ride the execution-only allowlist, and the freshly added Shiny field —
+// referenced nowhere — is the PR-7 incident re-staged.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Spec is a job spec whose identity feeds a result cache.
+type Spec struct {
+	Kind string
+	Runs int
+	Seed uint64
+	// Units is covered through the canonical() helper, proving the
+	// transitive field-reference closure works.
+	Units []string
+	// Workers and TimeoutSec are execution-only: allowlisted.
+	Workers    int
+	TimeoutSec float64
+	// Shiny is result-affecting but was never added to the pre-image.
+	Shiny string // want `field Shiny of server\.Spec is not referenced from its fingerprint pre-image builder \(Spec\.CacheKey\)`
+}
+
+// canonical renders the list-valued parts of the pre-image.
+func canonical(sp Spec) string {
+	out := ""
+	for _, u := range sp.Units {
+		out += "|" + u
+	}
+	return out
+}
+
+// CacheKey hashes the spec's result-affecting identity.
+func (sp Spec) CacheKey() string {
+	pre := fmt.Sprintf("fixture-v1|kind=%s|runs=%d|seed=%d%s", sp.Kind, sp.Runs, sp.Seed, canonical(sp))
+	h := sha256.Sum256([]byte(pre))
+	return hex.EncodeToString(h[:])
+}

@@ -1,0 +1,100 @@
+// Package a is the goroleak fixture: goroutines launched in ctx-taking
+// functions without a cancellation path must be flagged; ctx-consulting,
+// channel-signalled, WaitGroup-joined and do-nothing goroutines must
+// not. Functions that do not take a context are out of scope entirely.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+// Leak spins forever with no way to stop it: the request returns, the
+// goroutine stays.
+func Leak(ctx context.Context, work func()) {
+	go func() { // want `goroutine launched in ctx-taking Leak has no cancellation path`
+		for {
+			work()
+		}
+	}()
+	<-ctx.Done()
+}
+
+// LeakNamed hands the callee neither a context nor a channel.
+func LeakNamed(ctx context.Context) {
+	go spin() // want `goroutine launched in ctx-taking LeakNamed is handed neither a context nor a channel`
+	<-ctx.Done()
+}
+
+func spin() {
+	for i := 0; ; i++ {
+		_ = i * i
+	}
+}
+
+// OKCtx consults the context every iteration: cancellable.
+func OKCtx(ctx context.Context, work func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			work()
+		}
+	}()
+}
+
+// OKJoined is bounded by a WaitGroup the function waits on.
+func OKJoined(ctx context.Context, work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+	_ = ctx
+}
+
+// OKCloser signals completion by closing a channel the caller selects
+// on: the server.Shutdown completion-notifier shape.
+func OKCloser(ctx context.Context, work func()) {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+	}
+}
+
+// OKNamedCtx passes the context on; the callee owns cancellation.
+func OKNamedCtx(ctx context.Context) {
+	go pump(ctx)
+}
+
+func pump(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// OKHarmless does no real work; it finishes promptly regardless.
+func OKHarmless(ctx context.Context) {
+	x := 0
+	go func() {
+		x++
+	}()
+	<-ctx.Done()
+}
+
+// NoCtx launches a daemon from a non-ctx constructor: out of scope.
+func NoCtx(work func()) {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

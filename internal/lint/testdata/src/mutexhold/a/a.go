@@ -1,0 +1,109 @@
+// Package a is the mutexhold fixture: blocking operations under held
+// mutexes that must be flagged, and the released-around-the-wait,
+// non-blocking-select and suppressed shapes that must not.
+package a
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// S guards a counter with a mutex, like the cosim supervisor.
+type S struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	n   int
+	out chan int
+}
+
+// StallEveryone is the PR-8 incident shape: a multi-second sleep while
+// the mutex is held stalls every concurrent session.
+func (s *S) StallEveryone() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(2 * time.Second) // want `time.Sleep while s\.mu is held`
+	s.n++
+}
+
+// WriteUnderLock performs network I/O inside the critical section.
+func (s *S) WriteUnderLock(conn net.Conn, b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := conn.Write(b) // want `net.Write while s\.mu is held`
+	return err
+}
+
+// SendUnderLock parks on an unbuffered channel while locked.
+func (s *S) SendUnderLock() {
+	s.mu.Lock()
+	s.out <- s.n // want `channel send while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// ReadUnderRLock blocks under a read lock; readers stall writers too.
+func (s *S) ReadUnderRLock(conn net.Conn, b []byte) error {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	_, err := conn.Read(b) // want `net.Read while s\.rw is held`
+	return err
+}
+
+// Fixed is the PR-8 fix shape: the lock is released around the wait.
+func (s *S) Fixed() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// RestartUnlocking mirrors the supervisor's restart path: the caller
+// holds s.mu, this helper releases it around the sleep and reacquires.
+// The sleep must not be flagged (no lock is held at that point), and the
+// fact walk must not mark this function may-block for its callers.
+func (s *S) RestartUnlocking() {
+	s.mu.Unlock()
+	time.Sleep(10 * time.Millisecond)
+	s.mu.Lock()
+}
+
+// helperSleeps blocks; the fact walk marks it may-block.
+func helperSleeps() {
+	time.Sleep(time.Millisecond)
+}
+
+// CallsBlockingHelper reaches the sleep through a call while locked:
+// the intra-package fact propagation case.
+func (s *S) CallsBlockingHelper() {
+	s.mu.Lock()
+	helperSleeps() // want `call to a\.helperSleeps may block \(time.Sleep\) while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// CallsRestarter holds the lock across the restart helper; the helper
+// releases it first, so this is the sanctioned shape and stays clean.
+func (s *S) CallsRestarter() {
+	s.mu.Lock()
+	s.RestartUnlocking()
+	s.mu.Unlock()
+}
+
+// Pulse is the non-blocking notification idiom: select with a default
+// never parks, so doing it under the lock is fine.
+func (s *S) Pulse() {
+	s.mu.Lock()
+	select {
+	case s.out <- s.n:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+// Deliberate holds a dedicated write-serialization mutex across the
+// write on purpose; the suppression comment keeps it clean.
+func (s *S) Deliberate(conn net.Conn, b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := conn.Write(b) //mblint:ignore mutexhold fixture: dedicated write mutex, serializing the write is its purpose
+	return err
+}

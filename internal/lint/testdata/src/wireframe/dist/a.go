@@ -1,0 +1,146 @@
+// Package dist is the wireframe fixture; its import path carries the
+// "dist" segment, so the wire-protocol decoding conventions apply.
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+const maxFrame = 1 << 20
+
+// Frame is a wire frame.
+type Frame struct {
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// ParseFrame is the clean entry point: errors out, never panics.
+func ParseFrame(line []byte) (Frame, error) {
+	if len(line) > maxFrame {
+		return Frame{}, errors.New("frame too large")
+	}
+	var f Frame
+	if err := json.Unmarshal(line, &f); err != nil {
+		return Frame{}, err
+	}
+	return f, nil
+}
+
+// ParseStrict panics on hostile input, directly.
+func ParseStrict(line []byte) Frame { // want `wire entry point ParseStrict can reach panic \(panic call\)`
+	if len(line) == 0 {
+		panic("empty frame")
+	}
+	var f Frame
+	if err := json.Unmarshal(line, &f); err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ParseViaHelper reaches a panic through a helper: the fact walk must
+// carry may-panic across the call.
+func ParseViaHelper(line []byte) (Frame, error) { // want `wire entry point ParseViaHelper can reach panic \(calls dist\.mustType`
+	var f Frame
+	if err := json.Unmarshal(line, &f); err != nil {
+		return Frame{}, err
+	}
+	mustType(f)
+	return f, nil
+}
+
+func mustType(f Frame) {
+	if f.Type == "" {
+		panic("frame without type")
+	}
+}
+
+// readBlobUnbounded sizes an allocation straight from a wire length
+// word: the classic pre-allocation DoS.
+func readBlobUnbounded(r *bytes.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	b := make([]byte, int(n)) // want `allocation sized by n without a preceding size guard`
+	_, err := r.Read(b)
+	return b, err
+}
+
+// readBlobGuarded checks the length word against the frame bound first.
+func readBlobGuarded(r *bytes.Reader) ([]byte, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if int(n) > maxFrame {
+		return nil, fmt.Errorf("blob of %d bytes exceeds frame bound", n)
+	}
+	b := make([]byte, int(n)) // guarded above: clean
+	_, err := r.Read(b)
+	return b, err
+}
+
+// copyPayload sizes from len() of in-memory data: bounded by
+// construction, clean.
+func copyPayload(f Frame) []byte {
+	out := make([]byte, len(f.Payload))
+	copy(out, f.Payload)
+	return out
+}
+
+// readLineUnbounded grows a buffer off the wire without ever checking
+// its length.
+func readLineUnbounded(r *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...) // want `line grows by self-append in a read loop but its length is never compared`
+		if err == nil {
+			return line, nil
+		}
+		if !errors.Is(err, bufio.ErrBufferFull) {
+			return nil, err
+		}
+	}
+}
+
+// readLineBounded is the readFrame shape: growth capped by maxFrame.
+func readLineBounded(r *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if len(line) > maxFrame {
+			return nil, errors.New("frame too large")
+		}
+		if err == nil {
+			return line, nil
+		}
+		if !errors.Is(err, bufio.ErrBufferFull) {
+			return nil, err
+		}
+	}
+}
+
+// decodeStrict rejects unknown fields on the wire: a forward-
+// compatibility break.
+func decodeStrict(data []byte) (Frame, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields() // want `DisallowUnknownFields in a wire-protocol package breaks unknown-field tolerance`
+	var f Frame
+	err := dec.Decode(&f)
+	return f, err
+}
+
+// decodeTolerant is the blessed shape: unknown fields pass through.
+func decodeTolerant(data []byte) (Frame, error) {
+	var f Frame
+	err := json.Unmarshal(data, &f)
+	return f, err
+}
