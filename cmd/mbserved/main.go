@@ -25,6 +25,19 @@
 //	curl -d '{"kind":"characterize","runs":1}' localhost:8089/jobs
 //	curl localhost:8089/jobs/job-000000
 //
+// Streaming ingest (-stream): measurement records fold one at a time into
+// an incrementally re-clustered analysis — delta distance matrices plus
+// warm-started re-validation instead of a full batch sweep per record.
+// Every record is fsynced to an append-only log before it is acked, and a
+// restart replays the log bit-identically.
+//
+//	mbserved -state DIR -stream [-stream-kmin 2] [-stream-kmax 9]
+//	         [-stream-churn F] [-stream-exact]
+//	curl -d '{"unit":"x","runtime_sec":9,"features":[...]}' localhost:8089/v1/stream
+//	curl localhost:8089/v1/stream/state
+//	curl 'localhost:8089/v1/stream/changes?since=0'
+//	curl -XPOST localhost:8089/v1/stream/report   # batch re-analysis as a job
+//
 // On SIGTERM or SIGINT the server drains: admission stops (503), queued
 // jobs stay persisted for the next start, and in-flight jobs get the grace
 // period to finish before being interrupted at a checkpointed boundary.
@@ -66,6 +79,7 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "heartbeat silence after which a lease is revoked and its job re-dispatched (coordinator mode)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060 (off when empty)")
 	tf := cliflag.RegisterTiming()
+	sf := cliflag.RegisterStream()
 	flag.Parse()
 
 	if *coordinator != "" && *workerAddr != "" {
@@ -73,6 +87,12 @@ func main() {
 	}
 	if err := tf.Validate(); err != nil {
 		fatal(err)
+	}
+	if err := sf.Validate(); err != nil {
+		fatal(err)
+	}
+	if *workerAddr != "" && sf.Enable {
+		fatal(errors.New("-stream is server configuration; a worker serves no HTTP API"))
 	}
 	if *coordinator != "" && tf.ReplayDir != "" {
 		fatal(errors.New("-timing-replay is worker configuration; a coordinator never executes jobs"))
@@ -108,6 +128,13 @@ func main() {
 		JobTimeout:    *jobTimeout,
 		DrainGrace:    *drainGrace,
 		CacheDir:      *cacheDir,
+		Stream: server.StreamConfig{
+			Enabled:    sf.Enable,
+			KMin:       sf.KMin,
+			KMax:       sf.KMax,
+			ChurnLimit: sf.Churn,
+			Exact:      sf.Exact,
+		},
 	}
 	if *coordinator == "" {
 		// Single-process mode executes jobs in this process, so the

@@ -1,0 +1,136 @@
+// Append-only record log: the persist-before-accept store behind streaming
+// ingest. Where the MBCP snapshot rewrites the whole state atomically per
+// update, a stream of small records wants O(1) durable appends — each
+// record becomes one CRC-guarded line, fsynced before the append returns,
+// so an acked record survives a crash and a torn final write (power loss
+// mid-append) is detected and dropped without condemning the records
+// before it.
+//
+// Framing: one record per line, "crc32c-hex payload\n". The payload is an
+// opaque single-line byte string (in practice JSON); the CRC (Castagnoli)
+// covers the payload bytes only. A trailing line that fails its CRC, is
+// missing its newline, or is otherwise malformed is a torn append — the
+// record was never acked, so readers ignore it. The same damage anywhere
+// before the final line means the file was corrupted after the fact, which
+// readers must refuse to silently repair.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Log is an append-only record log. Appends are durable when they return;
+// concurrent appenders must serialize externally (the log holds no lock:
+// its single caller, the stream ingest path, already owns the ordering).
+type Log struct {
+	f    *os.File
+	path string
+}
+
+// OpenLog opens (creating if absent) the log at path for appending and
+// syncs the parent directory so the file itself survives a crash.
+func OpenLog(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: opening log: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	return &Log{f: f, path: path}, nil
+}
+
+// Append writes one record and fsyncs before returning: when Append
+// returns nil the record is on disk, which is what lets an ingest path ack
+// only after persisting. The payload must not contain a newline (the
+// record separator).
+func (l *Log) Append(payload []byte) error {
+	if bytes.IndexByte(payload, '\n') >= 0 {
+		return fmt.Errorf("checkpoint: log payload must not contain a newline")
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.Checksum(payload, crcTable))
+	line = append(line, payload...)
+	line = append(line, '\n')
+	if _, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("checkpoint: appending log record: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing log: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (l *Log) Close() error { return l.f.Close() }
+
+// CorruptLogError reports damage before the final record — data that was
+// once acked and is no longer intact, which replay must not paper over.
+type CorruptLogError struct {
+	Path string
+	Line int // 1-based line number of the damaged record
+	Why  string
+}
+
+func (e *CorruptLogError) Error() string {
+	return fmt.Sprintf("checkpoint: log %s corrupt at line %d: %s", e.Path, e.Line, e.Why)
+}
+
+// ReadLog returns every intact record payload in append order. A missing
+// file is an empty log. A damaged or truncated final line is a torn append
+// and is dropped silently — it was never acked. Damage anywhere earlier is
+// a *CorruptLogError.
+func ReadLog(path string) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("checkpoint: reading log: %w", err)
+	}
+	var out [][]byte
+	lineNo := 0
+	for len(data) > 0 {
+		lineNo++
+		line := data
+		rest := []byte(nil)
+		torn := true // no newline: can only be the final, possibly torn line
+		if i := bytes.IndexByte(data, '\n'); i >= 0 {
+			line, rest = data[:i], data[i+1:]
+			torn = len(rest) == 0
+		}
+		data = rest
+		payload, why := parseLogLine(line)
+		if why != "" {
+			if torn {
+				break
+			}
+			return nil, &CorruptLogError{Path: path, Line: lineNo, Why: why}
+		}
+		out = append(out, payload)
+	}
+	return out, nil
+}
+
+// parseLogLine splits "crc32c-hex payload" and verifies the CRC, returning
+// the payload or a non-empty reason.
+func parseLogLine(line []byte) ([]byte, string) {
+	if len(line) < 9 || line[8] != ' ' {
+		return nil, "malformed record framing"
+	}
+	sum := make([]byte, 4)
+	if _, err := hex.Decode(sum, line[:8]); err != nil {
+		return nil, "malformed CRC"
+	}
+	want := uint32(sum[0])<<24 | uint32(sum[1])<<16 | uint32(sum[2])<<8 | uint32(sum[3])
+	payload := line[9:]
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, "CRC mismatch"
+	}
+	return append([]byte(nil), payload...), ""
+}

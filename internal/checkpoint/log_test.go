@@ -1,0 +1,118 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeLogRecords(t *testing.T, path string, records ...string) {
+	t.Helper()
+	l, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, r := range records {
+		if err := l.Append([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.log")
+	writeLogRecords(t, path, `{"seq":1}`, `{"seq":2}`, `{"seq":3}`)
+
+	// Reopening appends, never truncates.
+	writeLogRecords(t, path, `{"seq":4}`)
+
+	got, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`{"seq":1}`, `{"seq":2}`, `{"seq":3}`, `{"seq":4}`}
+	if len(got) != len(want) {
+		t.Fatalf("read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLogMissingFileIsEmpty(t *testing.T) {
+	got, err := ReadLog(filepath.Join(t.TempDir(), "absent.log"))
+	if err != nil || got != nil {
+		t.Fatalf("ReadLog(absent) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestLogRejectsNewlinePayload(t *testing.T) {
+	l, err := OpenLog(filepath.Join(t.TempDir(), "stream.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("two\nlines")); err == nil {
+		t.Fatal("Append accepted a payload containing the record separator")
+	}
+}
+
+// A torn final append — truncated at any byte boundary — drops only the
+// final record: everything acked before it reads back intact.
+func TestLogTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.log")
+	writeLogRecords(t, path, `{"seq":1}`, `{"seq":2}`, `{"seq":3}`)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(full), "\n")
+	prefix := len(lines[0]) + len(lines[1])
+
+	for cut := prefix + 1; cut < len(full); cut++ {
+		torn := filepath.Join(dir, "torn.log")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadLog(torn)
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if len(got) < 2 || string(got[0]) != `{"seq":1}` || string(got[1]) != `{"seq":2}` {
+			t.Fatalf("cut at %d: lost acked records, read %d", cut, len(got))
+		}
+	}
+}
+
+// Damage before the final record is corruption of acked data and must be
+// refused, not silently skipped.
+func TestLogCorruptMiddleRefused(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stream.log")
+	writeLogRecords(t, path, `{"seq":1}`, `{"seq":2}`, `{"seq":3}`)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the middle record.
+	lines := strings.SplitAfter(string(full), "\n")
+	corrupted := []byte(lines[0] + strings.Replace(lines[1], `"seq":2`, `"seq":9`, 1) + lines[2])
+	bad := filepath.Join(dir, "bad.log")
+	if err := os.WriteFile(bad, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadLog(bad)
+	var ce *CorruptLogError
+	if !errors.As(err, &ce) {
+		t.Fatalf("ReadLog(corrupt middle) = %v, want *CorruptLogError", err)
+	}
+	if ce.Line != 2 {
+		t.Fatalf("corrupt line = %d, want 2", ce.Line)
+	}
+}

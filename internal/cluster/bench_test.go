@@ -1,6 +1,9 @@
 package cluster
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // benchBlobRows builds a deterministic synthetic dataset: n observations of
 // d features scattered around 4 well-separated centers by a small LCG, so
@@ -24,9 +27,11 @@ func benchBlobRows(n, d int) [][]float64 {
 }
 
 // BenchmarkClusterSweep covers the Figure 4 path: a full validation sweep
-// (clustering + APN/AD/Dunn/silhouette per k) across K-means and PAM. It is
-// the headline beneficiary of the shared DistMatrix — tracked in
-// BENCH_*.json and gated by scripts/benchdiff.go in CI.
+// (clustering + APN/AD/Dunn/silhouette per k) across K-means and PAM, with
+// every clustering and stability re-clustering reading the sweep's shared
+// DistMatrix instead of recomputing distances per call. Tracked in
+// BENCH_*.json and gated by scripts/benchdiff.go in CI; it doubles as the
+// cold baseline the incremental benchmarks below are measured against.
 func BenchmarkClusterSweep(b *testing.B) {
 	rows := benchBlobRows(24, 8)
 	algs := []Algorithm{NewKMeans(), NewPAM()}
@@ -34,6 +39,58 @@ func BenchmarkClusterSweep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Sweep(algs, rows, 2, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncrementalAppend measures the streaming ingest cost of one new
+// observation: a SweepState holds the sweep over 23 of the 24 rows, and
+// each iteration clones it (cheap: matrices and assignments are shared)
+// and appends the 24th with delta distance matrices plus warm-started
+// re-validation. Same rows, algorithms and k range as BenchmarkClusterSweep,
+// so ns(ClusterSweep)/ns(IncrementalAppend) is the incremental engine's
+// speedup over a cold full-sweep re-run — the ratio BENCH_pr10.json records.
+func BenchmarkIncrementalAppend(b *testing.B) {
+	rows := benchBlobRows(24, 8)
+	algs := []Algorithm{NewKMeans(), NewPAM()}
+	base, _, err := NewSweepState(context.Background(), algs, rows[:23], SweepOptions{KMin: 2, KMax: 6, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := base.Clone()
+		if _, err := s.AppendRows(context.Background(), rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWarmStartSweep measures a warm re-validation after one existing
+// observation changes (the UpdateRow path): row/column deltas on every
+// distance matrix plus warm-started re-clustering of each (algorithm, k)
+// cell, against the same 24-row sweep BenchmarkClusterSweep runs cold.
+func BenchmarkWarmStartSweep(b *testing.B) {
+	rows := benchBlobRows(24, 8)
+	algs := []Algorithm{NewKMeans(), NewPAM()}
+	base, _, err := NewSweepState(context.Background(), algs, rows, SweepOptions{KMin: 2, KMax: 6, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	updated := make([][]float64, len(rows))
+	copy(updated, rows)
+	r := append([]float64(nil), rows[11]...)
+	for j := range r {
+		r[j] += 0.01 * float64(j+1)
+	}
+	updated[11] = r
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := base.Clone()
+		if _, err := s.UpdateRow(context.Background(), updated, 11); err != nil {
 			b.Fatal(err)
 		}
 	}

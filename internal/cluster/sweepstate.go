@@ -1,0 +1,318 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"mobilebench/internal/par"
+)
+
+// SweepOptions configures an incremental validation sweep.
+type SweepOptions struct {
+	// KMin..KMax is the swept cluster-count range (KMax is capped at
+	// n-1 per generation, exactly as SweepContext caps it).
+	KMin, KMax int
+	// Workers bounds the per-refresh (algorithm, k) fan-out (<= 0 = all
+	// CPUs). Results are worker-count invariant.
+	Workers int
+	// ChurnLimit is the warm-start acceptance threshold passed to every
+	// WarmAlgorithm: the fraction of previously-clustered observations a
+	// warm result may move before the cell re-clusters cold. 0 (the
+	// default) accepts a warm result only when no previously-clustered
+	// observation changed cluster.
+	ChurnLimit float64
+	// Exact disables warm starts entirely: every refresh re-clusters every
+	// cell cold, reusing only the delta distance matrices. Exact refreshes
+	// are unconditionally bit-identical to SweepContext over the same rows.
+	// The default (warm) mode is bit-identical whenever the data's cluster
+	// structure absorbs the change — a warm start converging with zero
+	// churn on well-separated data lands in the same basin the cold
+	// multi-restart search selects — but a cell swept past the natural
+	// cluster count can settle in a different local optimum than the cold
+	// search; the churn fall-back bounds, not eliminates, that drift.
+	Exact bool
+}
+
+// RefreshStats describes what one SweepState refresh actually did — the
+// observable cost model of the incremental engine.
+type RefreshStats struct {
+	// Cells is the number of (algorithm, k) sweep cells computed.
+	Cells int
+	// WarmCells counts cells whose full-data clustering was accepted from
+	// the warm-start path; ColdCells were re-clustered from scratch
+	// (churn fallback, warm-incapable algorithms, or a cold refresh).
+	WarmCells, ColdCells int
+	// NewCells counts cells that had no previous generation to warm from
+	// (the first refresh, or k values unlocked by dataset growth).
+	NewCells int
+	// ShiftedCells counts cells whose full-data grouping of the
+	// previously-present observations changed versus the last generation.
+	ShiftedCells int
+}
+
+// cellState is one (algorithm, k) cell's retained state: the canonical
+// assignments warm starts reseed from, plus the published scores.
+type cellState struct {
+	scores Scores
+	// full is the full-data assignment; reduced[j] is the assignment with
+	// feature column j removed (the APN/AD stability re-clusterings).
+	full    Assignment
+	reduced []Assignment
+}
+
+// SweepState is an incrementally maintained Figure 4 validation sweep: the
+// scores SweepContext would compute over the current rows, kept up to date
+// as observations stream in. A cold build computes exactly what
+// SweepContext computes (bit-identical, pinned by differential tests);
+// AppendRows and UpdateRow then grow the distance matrices by delta and
+// re-validate each (algorithm, k) cell warm-started from its previous
+// assignments, so a cell whose membership did not shift converges in a
+// single verification pass instead of a multi-restart search. Cells whose
+// assignments churn past SweepOptions.ChurnLimit fall back to the cold
+// path (see WarmAlgorithm), keeping drifting data on the same search the
+// batch sweep uses.
+//
+// The per-column stability re-clustering is performed once per cell and
+// shared by the APN and AD measures. SweepContext clusters each column
+// twice — once inside APNDist, once inside ADDist — but clustering is
+// deterministic, so both runs produce the same assignment and sharing one
+// is bit-identical; the accumulation arithmetic is shared code
+// (proportionNonOverlap, adColumn), so the scores cannot drift.
+//
+// A SweepState is not safe for concurrent use; refreshes fan out
+// internally over SweepOptions.Workers.
+type SweepState struct {
+	algs  []Algorithm
+	opt   SweepOptions
+	mats  *Matrices
+	kMax  int // effective KMax for the current row count
+	cells []cellState
+	gen   uint64
+}
+
+// NewSweepState cold-builds the sweep over rows — the same computation as
+// SweepContext(ctx, algs, rows, opt.KMin, opt.KMax, opt.Workers).
+func NewSweepState(ctx context.Context, algs []Algorithm, rows [][]float64, opt SweepOptions) (*SweepState, RefreshStats, error) {
+	if opt.KMin < 2 {
+		return nil, RefreshStats{}, fmt.Errorf("cluster: sweep needs kMin >= 2")
+	}
+	if len(algs) == 0 {
+		return nil, RefreshStats{}, fmt.Errorf("cluster: sweep needs at least one algorithm")
+	}
+	s := &SweepState{algs: algs, opt: opt}
+	st, err := s.refresh(ctx, NewMatrices(rows), false)
+	if err != nil {
+		return nil, RefreshStats{}, err
+	}
+	return s, st, nil
+}
+
+// Rebuild recomputes the sweep cold over rows, discarding all warm state.
+// It is the fallback for edits the delta constructors cannot express —
+// several rows changing at once (e.g. a min-max normalization bound
+// shifting) or rows disappearing.
+func (s *SweepState) Rebuild(ctx context.Context, rows [][]float64) (RefreshStats, error) {
+	return s.refresh(ctx, NewMatrices(rows), false)
+}
+
+// AppendRows refreshes the sweep after appending observations: rows is the
+// full new row set, of which rows[:s.N()] are bit-unchanged. The distance
+// matrices grow by delta and every cell re-validates warm-started from its
+// previous assignments.
+func (s *SweepState) AppendRows(ctx context.Context, rows [][]float64) (RefreshStats, error) {
+	if s.mats == nil || len(rows) < len(s.mats.Rows) {
+		return s.refresh(ctx, NewMatrices(rows), false)
+	}
+	return s.refresh(ctx, s.mats.AppendRows(rows), true)
+}
+
+// UpdateRow refreshes the sweep after one existing observation changed:
+// rows is the full new row set, equal to the previous rows except at
+// index ri. Only row/column ri of each distance matrix is recomputed.
+func (s *SweepState) UpdateRow(ctx context.Context, rows [][]float64, ri int) (RefreshStats, error) {
+	if s.mats == nil || len(rows) != len(s.mats.Rows) || ri < 0 || ri >= len(rows) {
+		return s.refresh(ctx, NewMatrices(rows), false)
+	}
+	return s.refresh(ctx, s.mats.UpdateRow(rows, ri), true)
+}
+
+// refresh recomputes every (algorithm, k) cell over mats, warm-starting
+// from the previous generation's assignments when warmable. State is only
+// replaced on success; a cancelled or failed refresh leaves the previous
+// generation intact.
+func (s *SweepState) refresh(ctx context.Context, mats *Matrices, warmable bool) (RefreshStats, error) {
+	n := len(mats.Rows)
+	kMax := s.opt.KMax
+	if kMax >= n {
+		kMax = n - 1
+	}
+	nk := kMax - s.opt.KMin + 1
+	if nk <= 0 {
+		return RefreshStats{}, fmt.Errorf("cluster: sweep needs at least %d observations, have %d", s.opt.KMin+1, n)
+	}
+	prevNK := 0
+	if s.mats != nil {
+		prevNK = s.kMax - s.opt.KMin + 1
+	}
+	cells := make([]cellState, len(s.algs)*nk)
+	type cellInfo struct {
+		warm, isNew, shifted bool
+	}
+	info := make([]cellInfo, len(cells))
+	err := par.ForEach(ctx, s.opt.Workers, len(cells), func(ctx context.Context, j int) error {
+		ai, ki := j/nk, j%nk
+		var prev *cellState
+		if warmable && ki < prevNK {
+			prev = &s.cells[ai*prevNK+ki]
+		}
+		cs, warm, err := s.computeCell(ctx, s.algs[ai], s.opt.KMin+ki, mats, prev)
+		if err != nil {
+			return err
+		}
+		cells[j] = cs
+		info[j] = cellInfo{
+			warm:    warm,
+			isNew:   prev == nil,
+			shifted: prev == nil || groupingShifted(prev.full, cs.full),
+		}
+		return nil
+	})
+	if err != nil {
+		return RefreshStats{}, err
+	}
+	st := RefreshStats{Cells: len(cells)}
+	for _, ci := range info {
+		if ci.warm {
+			st.WarmCells++
+		} else {
+			st.ColdCells++
+		}
+		if ci.isNew {
+			st.NewCells++
+		}
+		if ci.shifted {
+			st.ShiftedCells++
+		}
+	}
+	s.mats, s.kMax, s.cells = mats, kMax, cells
+	s.gen++
+	return st, nil
+}
+
+// computeCell produces one (algorithm, k) cell: the full-data clustering,
+// the per-column stability re-clusterings, and the four validation scores
+// accumulated in exactly the order SweepContext accumulates them.
+func (s *SweepState) computeCell(ctx context.Context, alg Algorithm, k int, mats *Matrices, prev *cellState) (cellState, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return cellState{}, false, err
+	}
+	if s.opt.Exact {
+		prev = nil
+	}
+	var (
+		full Assignment
+		warm bool
+		err  error
+	)
+	if prev != nil {
+		full, warm, err = clusterWarm(alg, mats.Rows, mats.Full, k, prev.full, s.opt.ChurnLimit)
+	} else {
+		full, err = clusterDist(alg, mats.Rows, mats.Full, k)
+	}
+	if err != nil {
+		return cellState{}, false, err
+	}
+	nc := len(mats.Rows[0])
+	fullMasks := clusterMasks(full)
+	reduced := make([]Assignment, nc)
+	apn, ad := 0.0, 0.0
+	for j := 0; j < nc; j++ {
+		if err := ctx.Err(); err != nil {
+			return cellState{}, false, err
+		}
+		var r Assignment
+		if prev != nil && j < len(prev.reduced) {
+			r, _, err = clusterWarm(alg, mats.DroppedRows[j], mats.Dropped[j], k, prev.reduced[j], s.opt.ChurnLimit)
+		} else {
+			r, err = clusterDist(alg, mats.DroppedRows[j], mats.Dropped[j], k)
+		}
+		if err != nil {
+			return cellState{}, false, fmt.Errorf("cluster: sweep with column %d removed: %w", j, err)
+		}
+		reduced[j] = r
+		apn += proportionNonOverlap(full, r)
+		ad += adColumn(mats.Full, full, fullMasks, r)
+	}
+	return cellState{
+		full:    full,
+		reduced: reduced,
+		scores: Scores{
+			Algorithm:  alg.Name(),
+			K:          k,
+			Dunn:       DunnDist(mats.Full, full),
+			Silhouette: SilhouetteDist(mats.Full, full),
+			APN:        apn / float64(nc),
+			AD:         ad / float64(nc),
+		},
+	}, warm, nil
+}
+
+// groupingShifted reports whether cur groups prev's observations (a prefix
+// of cur's) differently than prev did.
+func groupingShifted(prev, cur Assignment) bool {
+	if len(prev) > len(cur) {
+		return true
+	}
+	return !SameGrouping(prev, cur[:len(prev)])
+}
+
+// N returns the number of observations in the current generation.
+func (s *SweepState) N() int {
+	if s.mats == nil {
+		return 0
+	}
+	return len(s.mats.Rows)
+}
+
+// Gen returns the refresh generation (1 after the cold build, +1 per
+// successful refresh).
+func (s *SweepState) Gen() uint64 { return s.gen }
+
+// Scores returns the current generation's validation scores, in the exact
+// order SweepContext emits them.
+func (s *SweepState) Scores() []Scores {
+	out := make([]Scores, len(s.cells))
+	for i, c := range s.cells {
+		out[i] = c.scores
+	}
+	return out
+}
+
+// BestK aggregates the current scores into the winning cluster count.
+func (s *SweepState) BestK() int { return BestK(s.Scores()) }
+
+// Assignment returns the current full-data assignment of the named
+// algorithm at k, or false when the cell is outside the swept range.
+func (s *SweepState) Assignment(algName string, k int) (Assignment, bool) {
+	nk := s.kMax - s.opt.KMin + 1
+	for ai, alg := range s.algs {
+		if alg.Name() != algName {
+			continue
+		}
+		if k < s.opt.KMin || k > s.kMax {
+			return nil, false
+		}
+		return s.cells[ai*nk+(k-s.opt.KMin)].full, true
+	}
+	return nil, false
+}
+
+// Clone returns an independent SweepState sharing the immutable matrices
+// and assignments: refreshing the clone never mutates the original (every
+// refresh replaces the cell slice wholesale), so benchmarks and what-if
+// refreshes can fork cheaply.
+func (s *SweepState) Clone() *SweepState {
+	c := *s
+	c.cells = append([]cellState(nil), s.cells...)
+	return &c
+}

@@ -209,8 +209,6 @@ func ADContext(ctx context.Context, alg Algorithm, rows [][]float64, k int, full
 // concurrent sweep jobs the same way as APNDist.
 func ADDist(ctx context.Context, alg Algorithm, m *Matrices, k int, full Assignment) (float64, error) {
 	nc := len(m.Rows[0])
-	d := m.Full
-	n := len(m.Rows)
 	fullMasks := clusterMasks(full)
 	total := 0.0
 	for j := 0; j < nc; j++ {
@@ -221,25 +219,35 @@ func ADDist(ctx context.Context, alg Algorithm, m *Matrices, k int, full Assignm
 		if err != nil {
 			return 0, fmt.Errorf("cluster: AD with column %d removed: %w", j, err)
 		}
-		reducedMasks := clusterMasks(reduced)
-		sum := 0.0
-		for i := 0; i < n; i++ {
-			cf := fullMasks[full[i]]
-			cr := reducedMasks[reduced[i]]
-			cnt, acc := 0, 0.0
-			for m := 0; m < n; m++ {
-				if cf[m] && cr[m] {
-					acc += d.At(i, m)
-					cnt++
-				}
-			}
-			if cnt > 0 {
-				sum += acc / float64(cnt)
-			}
-		}
-		total += sum / float64(n)
+		total += adColumn(m.Full, full, fullMasks, reduced)
 	}
 	return total / float64(nc), nil
+}
+
+// adColumn is one removed column's contribution to the AD measure: the
+// mean distance between each observation and the observations placed in
+// its cluster by both the full and the reduced clustering. Shared by the
+// batch sweep (ADDist) and the incremental SweepState so their
+// accumulation order — and therefore their bits — can never drift apart.
+func adColumn(d *DistMatrix, full Assignment, fullMasks [][]bool, reduced Assignment) float64 {
+	n := len(full)
+	reducedMasks := clusterMasks(reduced)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		cf := fullMasks[full[i]]
+		cr := reducedMasks[reduced[i]]
+		cnt, acc := 0, 0.0
+		for m := 0; m < n; m++ {
+			if cf[m] && cr[m] {
+				acc += d.At(i, m)
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			sum += acc / float64(cnt)
+		}
+	}
+	return sum / float64(n)
 }
 
 // Validation sweep ---------------------------------------------------------

@@ -317,6 +317,9 @@ func (c *Coordinator) pulseFreed() {
 // the dispatch frame, so every (re-)dispatch resumes from whatever the
 // previous holder durably finished.
 func (c *Coordinator) Execute(ctx context.Context, jobID string, spec json.RawMessage, checkpointPath string) (json.RawMessage, error) {
+	if len(spec) > MaxSpecBytes {
+		return nil, &SpecTooLargeError{Bytes: len(spec), Max: MaxSpecBytes}
+	}
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err

@@ -560,3 +560,19 @@ func TestWedgedWorkerDoesNotStallCoordinator(t *testing.T) {
 	_ = conn.Close()
 	wedged.Wait()
 }
+
+// TestExecuteRefusesOversizedSpec pins the dispatch bound: a spec too
+// large for one protocol frame fails up front with the typed error, before
+// any worker sees a dispatch — not as a mid-flight protocol teardown.
+func TestExecuteRefusesOversizedSpec(t *testing.T) {
+	c, _ := startCoordinator(t, dist.CoordinatorConfig{})
+	huge := json.RawMessage(bytes.Repeat([]byte("x"), dist.MaxSpecBytes+1))
+	_, err := c.Execute(context.Background(), "job-huge", huge, "")
+	var tooLarge *dist.SpecTooLargeError
+	if !errors.As(err, &tooLarge) {
+		t.Fatalf("Execute(oversized spec) = %v, want *SpecTooLargeError", err)
+	}
+	if tooLarge.Bytes != len(huge) || tooLarge.Max != dist.MaxSpecBytes {
+		t.Fatalf("error = %+v", tooLarge)
+	}
+}

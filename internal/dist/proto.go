@@ -40,6 +40,27 @@ const ProtoVersion = 1
 // grow for.
 const MaxFrameBytes = 8 << 20
 
+// MaxSpecBytes bounds the spec a dispatch frame may carry: the frame
+// bound minus generous slack for the frame's own fields (type, lease, job
+// ID, checkpoint path, JSON escaping). Specs that embed their dataset —
+// a streamreport's record log — can genuinely approach this, so the
+// coordinator refuses them up front with a typed error instead of letting
+// the encoded frame blow the protocol bound mid-dispatch.
+const MaxSpecBytes = MaxFrameBytes - (64 << 10)
+
+// SpecTooLargeError reports a spec too large to dispatch over the fleet
+// protocol. The job fails cleanly (no worker ever saw it); the client
+// should shrink the spec — for a streamreport, analyze fewer records or
+// run against a single-process server, which dispatches nothing.
+type SpecTooLargeError struct {
+	Bytes, Max int
+}
+
+// Error implements error.
+func (e *SpecTooLargeError) Error() string {
+	return fmt.Sprintf("dist: spec of %d bytes exceeds the %d-byte dispatch bound", e.Bytes, e.Max)
+}
+
 // Frame types.
 const (
 	TypeHello     = "hello"     // worker → coordinator: handshake open

@@ -19,7 +19,8 @@ import (
 
 // Spec is a submitted job description (the POST /jobs body).
 type Spec struct {
-	// Kind selects the analysis: "characterize", "cluster" or "subset".
+	// Kind selects the analysis: "characterize", "cluster", "subset" or
+	// "streamreport".
 	Kind string `json:"kind"`
 	// Units names the benchmarks to collect (default: all 18 analysis
 	// units).
@@ -41,6 +42,15 @@ type Spec struct {
 	// K and Algorithm configure the "cluster" kind (defaults 5, "kmeans").
 	K         int    `json:"k,omitempty"`
 	Algorithm string `json:"algorithm,omitempty"`
+	// StreamRecords, StreamKMin and StreamKMax configure the
+	// "streamreport" kind: a cold batch re-analysis of an ingested record
+	// stream (core.StreamBatch), the comparator the incremental engine is
+	// held byte-identical to. The records ARE the dataset — no collection
+	// runs — so they are hashed into the cache key as the dataset
+	// generation.
+	StreamRecords []core.StreamRecord `json:"stream_records,omitempty"`
+	StreamKMin    int                 `json:"stream_kmin,omitempty"`
+	StreamKMax    int                 `json:"stream_kmax,omitempty"`
 }
 
 // Validate rejects a malformed spec at admission, before it costs a queue
@@ -55,8 +65,20 @@ func (sp Spec) Validate() error {
 		if a := sp.Algorithm; a != "" && a != "kmeans" && a != "pam" && a != "hierarchical" {
 			return fmt.Errorf("server: unknown clustering algorithm %q", a)
 		}
+	case "streamreport":
+		if len(sp.StreamRecords) == 0 {
+			return fmt.Errorf("server: streamreport needs at least one record")
+		}
+		for i, rec := range sp.StreamRecords {
+			if err := rec.Validate(); err != nil {
+				return fmt.Errorf("server: stream record %d: %w", i, err)
+			}
+		}
+		if err := sp.streamOptions().Validate(); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("server: unknown job kind %q (want characterize, cluster or subset)", sp.Kind)
+		return fmt.Errorf("server: unknown job kind %q (want characterize, cluster, subset or streamreport)", sp.Kind)
 	}
 	if sp.Runs < 0 || sp.Workers < 0 || sp.MaxRetries < 0 || sp.MinRuns < 0 || sp.TimeoutSec < 0 {
 		return fmt.Errorf("server: negative counts are invalid")
@@ -173,8 +195,32 @@ func (sp Spec) CacheKey(timingFingerprint string) (string, error) {
 	if timingFingerprint != "" {
 		timing = fmt.Sprintf("|timing=%q", timingFingerprint)
 	}
-	h := sha256.Sum256(fmt.Appendf(nil, "mbcache-v2|%s|kind=%s|k=%d|alg=%s|minruns=%d%s", canon, sp.Kind, k, alg, sp.MinRuns, timing))
+	// The streamreport kind's dataset is its records, not a collection:
+	// their canonical JSON (seq, unit, runtime, features — every byte that
+	// reaches the fold) is hashed in as the dataset generation, together
+	// with the normalized sweep range. Any accepted record therefore moves
+	// the key: a stream at generation N and the same stream at N+1 can
+	// never serve each other's bytes.
+	stream := ""
+	if sp.Kind == "streamreport" {
+		recs, err := json.Marshal(sp.StreamRecords)
+		if err != nil {
+			return "", err
+		}
+		sum := sha256.Sum256(recs)
+		so := sp.streamOptions().WithDefaults()
+		stream = fmt.Sprintf("|stream=%s|skmin=%d|skmax=%d", hex.EncodeToString(sum[:]), so.KMin, so.KMax)
+	}
+	h := sha256.Sum256(fmt.Appendf(nil, "mbcache-v2|%s|kind=%s|k=%d|alg=%s|minruns=%d%s%s", canon, sp.Kind, k, alg, sp.MinRuns, stream, timing))
 	return hex.EncodeToString(h[:]), nil
+}
+
+// streamOptions builds the streamreport sweep options a spec describes.
+// ChurnLimit and Exact are deliberately absent from the Spec: the batch
+// comparator always clusters cold, so warm-start tuning cannot change (or
+// appear in) its bytes.
+func (sp Spec) streamOptions() core.StreamOptions {
+	return core.StreamOptions{KMin: sp.StreamKMin, KMax: sp.StreamKMax, Workers: sp.Workers}
 }
 
 // execute runs the job's collection (checkpointed, always resuming from
@@ -209,6 +255,16 @@ type ExecOptions struct {
 
 // ExecuteSpecWith is ExecuteSpec with process-level execution options.
 func ExecuteSpecWith(ctx context.Context, sp Spec, checkpointPath string, eo ExecOptions) (json.RawMessage, error) {
+	// A streamreport carries its dataset in the spec: no collection, no
+	// checkpoint, no timing backend — just the deterministic batch
+	// re-analysis of the records.
+	if sp.Kind == "streamreport" {
+		sum, err := core.StreamBatch(ctx, sp.StreamRecords, sp.streamOptions())
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(sum)
+	}
 	opts, err := specOptions(sp, checkpointPath)
 	if err != nil {
 		return nil, err

@@ -72,6 +72,9 @@ type Config struct {
 	// coordinator mode reports false until at least one worker is
 	// connected.
 	Ready func() bool
+	// Stream configures the streaming ingest path (POST /v1/stream and
+	// friends); the zero value leaves it off.
+	Stream StreamConfig
 	// TimingFingerprint is the executing timing backend's identity
 	// (sim.TimingProvider.Fingerprint(); "" = the in-process models or an
 	// exact external one), folded into every cache and coalescing key. A
@@ -147,6 +150,7 @@ type Server struct {
 
 	cache  *dist.Cache // nil when Config.CacheDir is empty
 	flight *dist.Coalescer
+	stream *streamEngine // nil when Config.Stream.Enabled is false
 
 	// execHook replaces execute in tests (panic-isolation coverage).
 	execHook func(context.Context, *Job) (json.RawMessage, error)
@@ -172,6 +176,14 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.cache = cache
+	}
+
+	if cfg.Stream.Enabled {
+		stream, err := newStreamEngine(cfg.StateDir, cfg.Stream)
+		if err != nil {
+			return nil, err
+		}
+		s.stream = stream
 	}
 
 	recovered, err := s.loadState()
@@ -525,6 +537,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-done
 	}
 	s.cancel()
+	if s.stream != nil {
+		// Workers are stopped and admission is closed, so no ingest can
+		// race the log's close.
+		_ = s.stream.close()
+	}
 	return nil
 }
 
@@ -551,11 +568,24 @@ var (
 //	GET  /jobs/{id} one job's record (status, error, result)
 //	GET  /healthz   process liveness
 //	GET  /readyz    admission readiness (503 while draining)
+//
+// With Config.Stream.Enabled, the streaming ingest API is added:
+//
+//	POST /v1/stream          ingest one record (202 + its StreamDelta)
+//	GET  /v1/stream/state    the incrementally maintained analysis summary
+//	GET  /v1/stream/changes  the change log (?since=SEQ to tail)
+//	POST /v1/stream/report   submit a batch re-analysis of the stream as a job
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	if s.stream != nil {
+		mux.HandleFunc("POST /v1/stream", s.handleStreamIngest)
+		mux.HandleFunc("GET /v1/stream/state", s.handleStreamState)
+		mux.HandleFunc("GET /v1/stream/changes", s.handleStreamChanges)
+		mux.HandleFunc("POST /v1/stream/report", s.handleStreamReport)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

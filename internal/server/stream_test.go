@@ -1,0 +1,363 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mobilebench/internal/checkpoint"
+	"mobilebench/internal/core"
+)
+
+// streamTestConfig keeps the sweep small and the warm==cold identity regime
+// (strongly separated clusters, modest k range) the differential tests rely
+// on.
+func streamTestConfig() StreamConfig {
+	return StreamConfig{Enabled: true, KMin: 2, KMax: 4, Workers: 1}
+}
+
+// streamRecords builds deterministic unassigned records around strongly
+// asymmetric centers.
+func streamRecords(n int) []core.StreamRecord {
+	d := len(core.FeatureNames())
+	centers := []float64{0, 7, 30, 90}
+	state := uint64(0x2545f4914f6cdd1d)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>40) / float64(1<<24)
+	}
+	recs := make([]core.StreamRecord, n)
+	for i := range recs {
+		f := make([]float64, d)
+		for j := range f {
+			f[j] = centers[i%4] + next()
+		}
+		recs[i] = core.StreamRecord{
+			Unit:       fmt.Sprintf("unit-%02d", i),
+			RuntimeSec: 5 + float64(i),
+			Features:   f,
+		}
+	}
+	return recs
+}
+
+// withSeqs returns the records as the engine numbers them (1-based).
+func withSeqs(recs []core.StreamRecord) []core.StreamRecord {
+	out := append([]core.StreamRecord(nil), recs...)
+	for i := range out {
+		out[i].Seq = uint64(i + 1)
+	}
+	return out
+}
+
+func ingestRecord(t *testing.T, ts *httptest.Server, rec core.StreamRecord) (core.StreamDelta, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delta core.StreamDelta
+	if resp.StatusCode == http.StatusAccepted {
+		decodeBody(t, resp, &delta)
+	}
+	return delta, resp
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestStreamIngestLifecycle drives the ingest path end to end: every
+// accepted record gets the next sequence number and a delta, the published
+// state is byte-identical to a cold batch analysis of the same records,
+// and the change log tails correctly from any cursor.
+func TestStreamIngestLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{Stream: streamTestConfig()})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	recs := streamRecords(8)
+	for i, rec := range recs {
+		delta, resp := ingestRecord(t, ts, rec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest %d status = %d, want 202", i, resp.StatusCode)
+		}
+		if delta.Seq != uint64(i+1) || delta.Gen != i+1 {
+			t.Fatalf("ingest %d delta = %+v, want seq %d gen %d", i, delta, i+1, i+1)
+		}
+
+		// The incremental state must match the cold batch analysis of the
+		// records acked so far, byte for byte.
+		batch, err := core.StreamBatch(context.Background(), withSeqs(recs[:i+1]), streamTestConfig().options())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := strings.TrimSpace(getBody(t, ts.URL+"/v1/stream/state"))
+		if got != string(want) {
+			t.Fatalf("after record %d: /v1/stream/state diverges from batch\nstate: %s\nbatch: %s", i, got, want)
+		}
+	}
+
+	// Tail the change log from the middle: exactly the deltas after the
+	// cursor, in order.
+	var tail streamChanges
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/stream/changes?since=5")), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if tail.Since != 5 || tail.LastSeq != 8 || len(tail.Changes) != 3 {
+		t.Fatalf("changes since=5 = since %d last %d n %d, want 5, 8, 3", tail.Since, tail.LastSeq, len(tail.Changes))
+	}
+	for i, c := range tail.Changes {
+		if c.Seq != uint64(6+i) {
+			t.Fatalf("tailed change %d has seq %d, want %d", i, c.Seq, 6+i)
+		}
+	}
+
+	// Client-supplied sequence numbers are refused: the stream owns them.
+	bad := recs[0]
+	bad.Seq = 99
+	if _, resp := ingestRecord(t, ts, bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("client-set seq accepted with %d", resp.StatusCode)
+	}
+	// A malformed record is refused without consuming a sequence number.
+	bad = recs[0]
+	bad.Features = bad.Features[:2]
+	if _, resp := ingestRecord(t, ts, bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed record accepted with %d", resp.StatusCode)
+	}
+	if delta, _ := ingestRecord(t, ts, core.StreamRecord{
+		Unit: "unit-00", RuntimeSec: 5, Features: recs[0].Features,
+	}); delta.Seq != 9 {
+		t.Fatalf("next accepted record got seq %d, want 9 (rejections must not burn sequences)", delta.Seq)
+	}
+}
+
+// TestStreamDisabledRoutesAbsent pins that a server without streaming
+// exposes no /v1/stream surface.
+func TestStreamDisabledRoutesAbsent(t *testing.T) {
+	s := newTestServer(t, Config{})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/stream/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled stream state = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestStreamRestartReplaysLog is the crash-safety contract: every acked
+// record is in the fsynced log, and a new process replays it into the
+// bit-identical summary and change log, then continues the sequence.
+func TestStreamRestartReplaysLog(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{StateDir: dir, Stream: streamTestConfig()}
+
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	recs := streamRecords(6)
+	for _, rec := range recs {
+		if _, resp := ingestRecord(t, ts, rec); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+	before := strings.TrimSpace(getBody(t, ts.URL+"/v1/stream/state"))
+	changesBefore := strings.TrimSpace(getBody(t, ts.URL+"/v1/stream/changes"))
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every acked record is on disk, CRC-intact, with its assigned
+	// sequence number — persist-before-accept leaves no gap for a crash.
+	payloads, err := checkpoint.ReadLog(filepath.Join(dir, "stream.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != len(recs) {
+		t.Fatalf("log holds %d records, want %d", len(payloads), len(recs))
+	}
+	for i, p := range payloads {
+		var rec core.StreamRecord
+		if err := json.Unmarshal(p, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Seq != uint64(i+1) || rec.Unit != recs[i].Unit {
+			t.Fatalf("log record %d = seq %d unit %s", i, rec.Seq, rec.Unit)
+		}
+	}
+
+	s2 := newTestServer(t, cfg)
+	defer s2.Shutdown(context.Background())
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if after := strings.TrimSpace(getBody(t, ts2.URL+"/v1/stream/state")); after != before {
+		t.Fatalf("replayed state diverges:\nbefore: %s\nafter:  %s", before, after)
+	}
+	if after := strings.TrimSpace(getBody(t, ts2.URL+"/v1/stream/changes")); after != changesBefore {
+		t.Fatalf("replayed change log diverges:\nbefore: %s\nafter:  %s", changesBefore, after)
+	}
+	// The sequence continues where the dead process stopped.
+	delta, resp := ingestRecord(t, ts2, core.StreamRecord{
+		Unit: "unit-99", RuntimeSec: 3, Features: recs[0].Features,
+	})
+	if resp.StatusCode != http.StatusAccepted || delta.Seq != 7 {
+		t.Fatalf("post-restart ingest = status %d seq %d, want 202 seq 7", resp.StatusCode, delta.Seq)
+	}
+}
+
+// TestStreamReportJobMatchesState pins the two analysis paths against each
+// other through the public API: a streamreport job — the batch pipeline,
+// run through the queue and the content-addressed cache — produces exactly
+// the bytes the incremental state serves, and a later ingest moves the
+// cache key so stale bytes can never be served for the grown stream.
+func TestStreamReportJobMatchesState(t *testing.T) {
+	s := newTestServer(t, Config{Stream: streamTestConfig(), CacheDir: t.TempDir()})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	recs := streamRecords(8)
+	for _, rec := range recs {
+		if _, resp := ingestRecord(t, ts, rec); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+	state := strings.TrimSpace(getBody(t, ts.URL+"/v1/stream/state"))
+
+	report := func() Job {
+		resp, err := http.Post(ts.URL+"/v1/stream/report", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acc struct{ ID string }
+		decodeBody(t, resp, &acc)
+		if resp.StatusCode != http.StatusAccepted || acc.ID == "" {
+			t.Fatalf("report submit = %d %+v", resp.StatusCode, acc)
+		}
+		return waitStatus(t, s, acc.ID, StatusDone, 30*time.Second)
+	}
+
+	job := report()
+	if string(job.Result) != state {
+		t.Fatalf("streamreport result diverges from incremental state\njob:   %s\nstate: %s", job.Result, state)
+	}
+	if job.Cached {
+		t.Fatal("first report was served from the cache")
+	}
+
+	// An identical stream addresses the identical cache entry.
+	if job2 := report(); !job2.Cached || string(job2.Result) != state {
+		t.Fatalf("repeat report: cached=%v", job2.Cached)
+	}
+
+	// Growing the stream moves the dataset generation and therefore the
+	// key: the next report re-executes and matches the new state.
+	if _, resp := ingestRecord(t, ts, core.StreamRecord{
+		Unit: "unit-99", RuntimeSec: 2, Features: recs[2].Features,
+	}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	state2 := strings.TrimSpace(getBody(t, ts.URL+"/v1/stream/state"))
+	job3 := report()
+	if job3.Cached {
+		t.Fatal("report after a new record was served from the stale cache entry")
+	}
+	if string(job3.Result) != state2 || state2 == state {
+		t.Fatalf("post-ingest report diverges from state\njob:   %s\nstate: %s", job3.Result, state2)
+	}
+}
+
+// TestStreamSpecValidationAndKeys covers the streamreport spec surface:
+// admission rejections and the cache key's dataset-generation rule.
+func TestStreamSpecValidationAndKeys(t *testing.T) {
+	recs := withSeqs(streamRecords(4))
+	if err := (Spec{Kind: "streamreport"}).Validate(); err == nil {
+		t.Fatal("empty streamreport accepted")
+	}
+	bad := append([]core.StreamRecord(nil), recs...)
+	bad[1].Features = nil
+	if err := (Spec{Kind: "streamreport", StreamRecords: bad}).Validate(); err == nil {
+		t.Fatal("malformed record accepted")
+	}
+	if err := (Spec{Kind: "streamreport", StreamRecords: recs, StreamKMin: 1}).Validate(); err == nil {
+		t.Fatal("kMin 1 accepted")
+	}
+	good := Spec{Kind: "streamreport", StreamRecords: recs}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid streamreport rejected: %v", err)
+	}
+
+	key := func(sp Spec) string {
+		t.Helper()
+		k, err := sp.CacheKey("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	base := key(good)
+	// The records are the dataset: one more record, one changed feature or
+	// a different sweep range must all move the key.
+	grown := good
+	grown.StreamRecords = withSeqs(streamRecords(5))
+	if key(grown) == base {
+		t.Fatal("cache key ignores the record count")
+	}
+	mutated := good
+	mutated.StreamRecords = withSeqs(streamRecords(4))
+	mutated.StreamRecords[3].Features[0] += 0.5
+	if key(mutated) == base {
+		t.Fatal("cache key ignores record bytes")
+	}
+	ranged := good
+	ranged.StreamKMax = 5
+	if key(ranged) == base {
+		t.Fatal("cache key ignores the sweep range")
+	}
+	// Defaults and their explicit spellings address the same entry.
+	explicit := good
+	explicit.StreamKMin, explicit.StreamKMax = 2, 9
+	if key(explicit) != base {
+		t.Fatal("explicit default sweep range addresses a different entry")
+	}
+	// Execution-only knobs never move the key.
+	workers := good
+	workers.Workers = 7
+	if key(workers) != base {
+		t.Fatal("cache key depends on Workers")
+	}
+}
