@@ -8,11 +8,14 @@
 //
 // Framing: one record per line, "crc32c-hex payload\n". The payload is an
 // opaque single-line byte string (in practice JSON); the CRC (Castagnoli)
-// covers the payload bytes only. A trailing line that fails its CRC, is
-// missing its newline, or is otherwise malformed is a torn append — the
-// record was never acked, so readers ignore it. The same damage anywhere
-// before the final line means the file was corrupted after the fact, which
-// readers must refuse to silently repair.
+// covers the payload bytes only. A trailing line with no newline is a torn
+// append — Append writes the newline with the record, so the write never
+// completed and the record was never acked; readers drop it, and recovery
+// must TruncateLog it away before appending again (the log opens O_APPEND,
+// so a new record written after torn bytes would merge with them into one
+// unparseable line). A newline-terminated line that fails its CRC — even
+// the final one — was fully written, acked, and damaged after the fact,
+// which readers must refuse to silently repair.
 package checkpoint
 
 import (
@@ -81,40 +84,76 @@ func (e *CorruptLogError) Error() string {
 	return fmt.Sprintf("checkpoint: log %s corrupt at line %d: %s", e.Path, e.Line, e.Why)
 }
 
-// ReadLog returns every intact record payload in append order. A missing
-// file is an empty log. A damaged or truncated final line is a torn append
-// and is dropped silently — it was never acked. Damage anywhere earlier is
-// a *CorruptLogError.
-func ReadLog(path string) ([][]byte, error) {
+// ReadLog returns every acked record payload in append order, plus the
+// byte length of the valid prefix — the offset just past the last intact,
+// newline-terminated record. A missing file is an empty log. A final line
+// with no trailing newline is a torn append: the write never completed, so
+// the record was never acked, and it is dropped — whatever its bytes look
+// like, even a payload whose CRC happens to verify (the missing newline
+// means Append never returned). Recovery must TruncateLog the file to the
+// returned length before reopening it for append. A newline-terminated
+// line that fails to parse — including the final one — was acked and then
+// damaged, and is a *CorruptLogError.
+func ReadLog(path string) ([][]byte, int64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, nil
+			return nil, 0, nil
 		}
-		return nil, fmt.Errorf("checkpoint: reading log: %w", err)
+		return nil, 0, fmt.Errorf("checkpoint: reading log: %w", err)
 	}
 	var out [][]byte
+	valid := int64(0)
 	lineNo := 0
 	for len(data) > 0 {
 		lineNo++
-		line := data
-		rest := []byte(nil)
-		torn := true // no newline: can only be the final, possibly torn line
-		if i := bytes.IndexByte(data, '\n'); i >= 0 {
-			line, rest = data[:i], data[i+1:]
-			torn = len(rest) == 0
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			break // torn append: never acked, excluded from the valid prefix
 		}
-		data = rest
+		line := data[:i]
+		data = data[i+1:]
 		payload, why := parseLogLine(line)
 		if why != "" {
-			if torn {
-				break
-			}
-			return nil, &CorruptLogError{Path: path, Line: lineNo, Why: why}
+			return nil, valid, &CorruptLogError{Path: path, Line: lineNo, Why: why}
 		}
 		out = append(out, payload)
+		valid += int64(i) + 1
 	}
-	return out, nil
+	return out, valid, nil
+}
+
+// TruncateLog drops a torn final append by truncating the log at path to
+// size, the valid-prefix length ReadLog reported. Recovery must do this
+// before reopening the log: OpenLog appends with O_APPEND, so the next
+// record would otherwise land directly after the torn bytes and merge with
+// them into one unparseable line — acked, yet dropped as "torn" on the
+// following replay. Discarding the tail is safe precisely because a record
+// without its newline was never acked. A missing file, or one already no
+// longer than size, is a no-op.
+func TruncateLog(path string, size int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("checkpoint: opening log for truncation: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("checkpoint: stat log: %w", err)
+	}
+	if st.Size() <= size {
+		return nil
+	}
+	if err := f.Truncate(size); err != nil {
+		return fmt.Errorf("checkpoint: truncating torn log tail: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing truncated log: %w", err)
+	}
+	return nil
 }
 
 // parseLogLine splits "crc32c-hex payload" and verifies the CRC, returning

@@ -29,9 +29,12 @@ func TestLogRoundTrip(t *testing.T) {
 	// Reopening appends, never truncates.
 	writeLogRecords(t, path, `{"seq":4}`)
 
-	got, err := ReadLog(path)
+	got, valid, err := ReadLog(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if st, err := os.Stat(path); err != nil || valid != st.Size() {
+		t.Fatalf("valid prefix = %d, want the whole file", valid)
 	}
 	want := []string{`{"seq":1}`, `{"seq":2}`, `{"seq":3}`, `{"seq":4}`}
 	if len(got) != len(want) {
@@ -45,9 +48,9 @@ func TestLogRoundTrip(t *testing.T) {
 }
 
 func TestLogMissingFileIsEmpty(t *testing.T) {
-	got, err := ReadLog(filepath.Join(t.TempDir(), "absent.log"))
-	if err != nil || got != nil {
-		t.Fatalf("ReadLog(absent) = %v, %v; want nil, nil", got, err)
+	got, valid, err := ReadLog(filepath.Join(t.TempDir(), "absent.log"))
+	if err != nil || got != nil || valid != 0 {
+		t.Fatalf("ReadLog(absent) = %v, %d, %v; want nil, 0, nil", got, valid, err)
 	}
 }
 
@@ -62,8 +65,13 @@ func TestLogRejectsNewlinePayload(t *testing.T) {
 	}
 }
 
-// A torn final append — truncated at any byte boundary — drops only the
-// final record: everything acked before it reads back intact.
+// A torn final append — truncated at any byte boundary short of the
+// newline — drops only the final record: everything acked before it reads
+// back intact, and the valid prefix ends at the last acked record so
+// recovery can truncate the torn bytes away. The torn record is dropped
+// even when the cut lands after its full payload (cut == len(full)-1, CRC
+// verifies): without the newline, Append never returned, so it was never
+// acked.
 func TestLogTornTailTolerated(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "stream.log")
@@ -80,13 +88,81 @@ func TestLogTornTailTolerated(t *testing.T) {
 		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		got, err := ReadLog(torn)
+		got, valid, err := ReadLog(torn)
 		if err != nil {
 			t.Fatalf("cut at %d: %v", cut, err)
 		}
-		if len(got) < 2 || string(got[0]) != `{"seq":1}` || string(got[1]) != `{"seq":2}` {
-			t.Fatalf("cut at %d: lost acked records, read %d", cut, len(got))
+		if len(got) != 2 || string(got[0]) != `{"seq":1}` || string(got[1]) != `{"seq":2}` {
+			t.Fatalf("cut at %d: read %d records, want the 2 acked ones", cut, len(got))
 		}
+		if valid != int64(prefix) {
+			t.Fatalf("cut at %d: valid prefix %d, want %d", cut, valid, prefix)
+		}
+	}
+}
+
+// The crash-mid-append recovery sequence: a torn tail must be truncated
+// before appending again — the log opens O_APPEND, so without the truncate
+// the next record lands directly after the torn bytes and the merged line
+// would drop an acked record on the following read.
+func TestLogTruncateTornTailThenAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.log")
+	writeLogRecords(t, path, `{"seq":1}`, `{"seq":2}`)
+	// Crash mid-append: half a record, no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(`0badc0de {"se`)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, valid, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records, want 2", len(got))
+	}
+	if err := TruncateLog(path, valid); err != nil {
+		t.Fatal(err)
+	}
+
+	// The recovered log round-trips the next acked record.
+	writeLogRecords(t, path, `{"seq":3}`)
+	got, _, err = ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`{"seq":1}`, `{"seq":2}`, `{"seq":3}`}
+	if len(got) != len(want) {
+		t.Fatalf("after recovery read %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TruncateLog is a no-op on a missing file or an already-clean log.
+func TestLogTruncateNoop(t *testing.T) {
+	if err := TruncateLog(filepath.Join(t.TempDir(), "absent.log"), 0); err != nil {
+		t.Fatalf("TruncateLog(absent) = %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "stream.log")
+	writeLogRecords(t, path, `{"seq":1}`)
+	_, valid, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateLog(path, valid); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadLog(path)
+	if err != nil || len(got) != 1 || string(got[0]) != `{"seq":1}` {
+		t.Fatalf("clean log damaged by no-op truncate: %v, %v", got, err)
 	}
 }
 
@@ -107,12 +183,33 @@ func TestLogCorruptMiddleRefused(t *testing.T) {
 	if err := os.WriteFile(bad, corrupted, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	_, err = ReadLog(bad)
+	_, _, err = ReadLog(bad)
 	var ce *CorruptLogError
 	if !errors.As(err, &ce) {
 		t.Fatalf("ReadLog(corrupt middle) = %v, want *CorruptLogError", err)
 	}
 	if ce.Line != 2 {
 		t.Fatalf("corrupt line = %d, want 2", ce.Line)
+	}
+}
+
+// A newline-terminated final line that fails its CRC is not a torn append:
+// the record was fully written and acked, so its damage is post-hoc
+// corruption that must be refused, not silently dropped.
+func TestLogCorruptFinalRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stream.log")
+	writeLogRecords(t, path, `{"seq":1}`, `{"seq":2}`)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(string(full), `"seq":2`, `"seq":9`, 1)
+	if err := os.WriteFile(path, []byte(corrupted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReadLog(path)
+	var ce *CorruptLogError
+	if !errors.As(err, &ce) || ce.Line != 2 {
+		t.Fatalf("ReadLog(corrupt final) = %v, want *CorruptLogError at line 2", err)
 	}
 }

@@ -61,7 +61,19 @@ type streamEngine struct {
 	changes []core.StreamDelta  // one delta per folded record
 	log     *checkpoint.Log
 	nextSeq uint64
+	failed  error // set when a durable record failed to fold; wedges ingest
 }
+
+// streamWedgedError reports that a durably appended record failed to fold,
+// so the in-memory state no longer covers the log. The engine refuses
+// further ingests — appending another record would reuse the failed
+// record's sequence number, and startup replay would then refuse to boot
+// on the duplicate. A restart replays the log and surfaces the same fold
+// error at startup instead of serving state that disagrees with disk.
+type streamWedgedError struct{ err error }
+
+func (e *streamWedgedError) Error() string { return e.err.Error() }
+func (e *streamWedgedError) Unwrap() error { return e.err }
 
 // newStreamEngine builds the engine, replaying any records a previous
 // process durably acked. Replay re-folds each record through the same
@@ -72,8 +84,15 @@ func newStreamEngine(stateDir string, cfg StreamConfig) (*streamEngine, error) {
 		return nil, err
 	}
 	path := filepath.Join(stateDir, "stream.log")
-	payloads, err := checkpoint.ReadLog(path)
+	payloads, validLen, err := checkpoint.ReadLog(path)
 	if err != nil {
+		return nil, err
+	}
+	// Drop any torn tail (a crash mid-append) before reopening: the log is
+	// opened O_APPEND, and a record written after torn bytes would merge
+	// with them into one unparseable line — acked, then lost on the next
+	// replay.
+	if err := checkpoint.TruncateLog(path, validLen); err != nil {
 		return nil, err
 	}
 	e := &streamEngine{opt: cfg.options(), state: core.NewStreamState(cfg.options()), nextSeq: 1}
@@ -106,6 +125,9 @@ func (e *streamEngine) ingest(rec core.StreamRecord) (core.StreamDelta, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.failed != nil {
+		return core.StreamDelta{}, &streamWedgedError{err: e.failed}
+	}
 	rec.Seq = e.nextSeq
 	payload, err := json.Marshal(rec)
 	if err != nil {
@@ -124,10 +146,15 @@ func (e *streamEngine) ingest(rec core.StreamRecord) (core.StreamDelta, error) {
 	//mblint:ignore mutexhold serializing folds under e.mu is the engine's ordering contract (core.StreamState is not safe for concurrent use); an incremental refresh is the bounded fast path this PR exists for, and readers only ever wait one refresh
 	delta, err := e.state.Ingest(context.Background(), rec)
 	if err != nil {
-		// Unreachable for a Validate-d record (the engine rejects only
-		// malformed records and sequence regressions, both excluded
-		// above); surfaced rather than swallowed in case that changes.
-		return core.StreamDelta{}, err
+		// The record is durable but the state could not absorb it (folding
+		// can fail past validation — e.g. in summarize()'s subset step).
+		// Folding is deterministic, so retrying cannot help, and accepting
+		// another record would reuse this sequence number — replay would
+		// then refuse to boot on the duplicate. Wedge the engine: every
+		// further ingest fails until a restart replays the log and surfaces
+		// this same error at startup.
+		e.failed = fmt.Errorf("server: stream record seq %d is durable but failed to fold: %w (restart to replay)", rec.Seq, err)
+		return core.StreamDelta{}, &streamWedgedError{err: e.failed}
 	}
 	e.nextSeq++
 	e.records = append(e.records, rec)
@@ -148,12 +175,12 @@ func (e *streamEngine) changesSince(since uint64) ([]core.StreamDelta, uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	// Sequences are assigned contiguously from 1, so the tail starts at
-	// index since (clamped); no scan needed.
-	i := int(since)
-	if i > len(e.changes) {
-		i = len(e.changes)
+	// index since; no scan needed. Clamp in uint64 space — converting
+	// first would turn a since past 2^63 negative and panic the slice.
+	if since > uint64(len(e.changes)) {
+		since = uint64(len(e.changes))
 	}
-	out := append([]core.StreamDelta(nil), e.changes[i:]...)
+	out := append([]core.StreamDelta(nil), e.changes[since:]...)
 	return out, e.state.LastSeq()
 }
 
@@ -197,6 +224,13 @@ func (s *Server) handleStreamIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	delta, err := s.stream.ingest(rec)
 	if err != nil {
+		var wedged *streamWedgedError
+		if errors.As(err, &wedged) {
+			// Server-side failure, not a bad record: the engine refuses
+			// ingests until a restart replays the log.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}

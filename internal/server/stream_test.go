@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -203,7 +204,7 @@ func TestStreamRestartReplaysLog(t *testing.T) {
 
 	// Every acked record is on disk, CRC-intact, with its assigned
 	// sequence number — persist-before-accept leaves no gap for a crash.
-	payloads, err := checkpoint.ReadLog(filepath.Join(dir, "stream.log"))
+	payloads, _, err := checkpoint.ReadLog(filepath.Join(dir, "stream.log"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,6 +237,84 @@ func TestStreamRestartReplaysLog(t *testing.T) {
 	})
 	if resp.StatusCode != http.StatusAccepted || delta.Seq != 7 {
 		t.Fatalf("post-restart ingest = status %d seq %d, want 202 seq 7", resp.StatusCode, delta.Seq)
+	}
+}
+
+// TestStreamRestartTruncatesTornAppend reproduces the crash-mid-append
+// sequence: the restart drops AND truncates the torn tail, so the next
+// acked record is not appended onto the torn bytes — without the truncate,
+// the merged line would silently lose that acked record (or corrupt the
+// log) on the restart after it.
+func TestStreamRestartTruncatesTornAppend(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{StateDir: dir, Stream: streamTestConfig()}
+	recs := streamRecords(3)
+
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	for _, rec := range recs[:2] {
+		if _, resp := ingestRecord(t, ts, rec); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash mid-append: half a record, no trailing newline.
+	logPath := filepath.Join(dir, "stream.log")
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(`deadbeef {"torn`)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Restart, ingest one more record, restart again: the record was acked
+	// and must survive the second restart.
+	s2 := newTestServer(t, cfg)
+	ts2 := httptest.NewServer(s2.Handler())
+	delta, resp := ingestRecord(t, ts2, recs[2])
+	if resp.StatusCode != http.StatusAccepted || delta.Seq != 3 {
+		t.Fatalf("post-crash ingest = status %d seq %d, want 202 seq 3", resp.StatusCode, delta.Seq)
+	}
+	state := strings.TrimSpace(getBody(t, ts2.URL+"/v1/stream/state"))
+	ts2.Close()
+	if err := s2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s3 := newTestServer(t, cfg)
+	defer s3.Shutdown(context.Background())
+	ts3 := httptest.NewServer(s3.Handler())
+	defer ts3.Close()
+	if after := strings.TrimSpace(getBody(t, ts3.URL+"/v1/stream/state")); after != state {
+		t.Fatalf("record acked after torn-tail recovery lost on restart:\nbefore: %s\nafter:  %s", state, after)
+	}
+}
+
+// TestStreamChangesSinceOverflow pins that a since cursor past 2^63 clamps
+// to the tail instead of panicking the handler through a negative slice
+// index.
+func TestStreamChangesSinceOverflow(t *testing.T) {
+	s := newTestServer(t, Config{Stream: streamTestConfig()})
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, rec := range streamRecords(2) {
+		if _, resp := ingestRecord(t, ts, rec); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("ingest status %d", resp.StatusCode)
+		}
+	}
+	var tail streamChanges
+	if err := json.Unmarshal([]byte(getBody(t, ts.URL+"/v1/stream/changes?since=9223372036854775808")), &tail); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Changes) != 0 || tail.LastSeq != 2 {
+		t.Fatalf("overflowing since = %d changes, last %d; want 0 changes, last 2", len(tail.Changes), tail.LastSeq)
 	}
 }
 
